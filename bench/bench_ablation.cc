@@ -1,0 +1,72 @@
+// Ablation bench (beyond the paper's tables; DESIGN.md Section 4): what each
+// of the scheduler's design choices buys. Disables one mechanism at a time:
+//   * the switching-cost term C(b0, b) in the constraint (paper Section 3.5),
+//   * the anti-thrashing hysteresis,
+//   * the online contention calibration of the latency predictor,
+// and compares mAP / P95 / switch counts against the full scheduler under
+// both contention levels on the TX2.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace litereconfig {
+namespace {
+
+void Run() {
+  std::cout << "=== Ablation: what each scheduler mechanism contributes (TX2) "
+               "===\n";
+  const Workbench& wb = Workbench::Get(DeviceType::kTx2);
+  struct Variant {
+    std::string name;
+    SchedulerConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"Full scheduler", LiteReconfigProtocol::FullConfig()});
+  {
+    SchedulerConfig config;
+    config.use_switching_cost = false;
+    variants.push_back({"- switching-cost term", config});
+  }
+  {
+    SchedulerConfig config;
+    config.use_hysteresis = false;
+    variants.push_back({"- hysteresis", config});
+  }
+  {
+    SchedulerConfig config;
+    config.use_contention_calibration = false;
+    variants.push_back({"- contention calibration", config});
+  }
+
+  TablePrinter table({"Contention", "SLO (ms)", "Variant", "mAP (%)", "P95 (ms)",
+                      "Violation %", "Switches"});
+  for (double contention : {0.0, 0.5}) {
+    for (double slo : {33.3, 50.0}) {
+      for (const Variant& variant : variants) {
+        LiteReconfigProtocol protocol(&wb.models(), variant.config, variant.name);
+        EvalConfig config;
+        config.slo_ms = slo;
+        config.gpu_contention = contention;
+        EvalResult result = OnlineRunner::Run(protocol, wb.validation(), config);
+        table.AddRow({FmtDouble(contention * 100, 0) + "%", FmtDouble(slo, 1),
+                      variant.name, FmtDouble(result.map * 100.0, 1),
+                      FmtDouble(result.p95_ms, 1),
+                      FmtDouble(result.violation_rate * 100.0, 1),
+                      std::to_string(result.switch_count)});
+      }
+      table.AddSeparator();
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: dropping the switching-cost term / hysteresis "
+               "raises switch counts\nand tail latency; dropping the "
+               "calibration breaks the SLO under contention.\n";
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main() {
+  litereconfig::Run();
+  return 0;
+}

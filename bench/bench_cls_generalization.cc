@@ -1,0 +1,58 @@
+// Generalization bench (paper Section 6, beyond the paper's tables): the same
+// content-aware scheduling recipe applied to a second domain — ApproxNet-style
+// multi-branch video CLASSIFICATION — with the same building blocks
+// (per-feature accuracy nets, Table-1 feature costs, constrained argmax).
+// Compares the content-aware (HoC) policy against the content-agnostic one
+// across per-frame latency objectives on the TX2.
+#include <iostream>
+
+#include "src/cls/scheduler.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace litereconfig {
+namespace {
+
+void Run() {
+  std::cout << "=== Generalization: content-aware scheduling of a video "
+               "classification MBEK (TX2) ===\n";
+  ClsTrainConfig config;
+  std::cout << "[litereconfig] training the classification scheduler (one-time, "
+               "in-process)...\n";
+  ClsTrainedModels models = ClsTrainer::Train(config, DeviceType::kTx2);
+  Dataset validation = BuildDataset(
+      DatasetSpec{/*base_seed=*/77, /*num_videos=*/20, /*frames_per_video=*/96},
+      DatasetSplit::kVal);
+
+  TablePrinter table({"SLO (ms/frame)", "Policy", "Top-1 (%)",
+                      "Mean latency (ms/frame)"});
+  for (double slo : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    ClsEvalResult agnostic =
+        RunClsPolicy(models, /*content_aware=*/false, validation, slo);
+    ClsEvalResult aware =
+        RunClsPolicy(models, /*content_aware=*/true, validation, slo);
+    table.AddRow({FmtDouble(slo, 1), "content-agnostic",
+                  FmtDouble(agnostic.top1 * 100.0, 1),
+                  FmtDouble(agnostic.mean_frame_ms, 2)});
+    table.AddRow({FmtDouble(slo, 1), "content-aware (HoC)",
+                  FmtDouble(aware.top1 * 100.0, 1),
+                  FmtDouble(aware.mean_frame_ms, 2)});
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Section 6's claim): with enough budget "
+               "for the feature,\nthe content-aware policy matches or beats the "
+               "agnostic one by picking branch\nknobs (frame rate, depth, shape) "
+               "tailored to each window's content; at very\ntight objectives "
+               "the HoC cost squeezes the kernel and the agnostic policy "
+               "wins —\nwhich is exactly why the full system needs the "
+               "cost-benefit analysis.\n";
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main() {
+  litereconfig::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 2: accuracy-vs-latency for the content-agnostic
+// strategy vs. the two always-on content-aware strategies (ResNet50 from the
+// detector vs. an external MobileNetV2), across a latency-objective sweep on
+// the TX2 with no contention. The paper's takeaway: ResNet content-awareness
+// beats content-agnostic, while MobileNet's extraction cost can make it worse —
+// hence the need for the cost-benefit analysis.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace litereconfig {
+namespace {
+
+void Run() {
+  std::cout << "=== Figure 2: motivation — accuracy vs latency per strategy "
+               "(TX2, no contention) ===\n";
+  const Workbench& wb = Workbench::Get(DeviceType::kTx2);
+  const std::vector<std::string> strategies = {
+      "LiteReconfig-MinCost",               // content-agnostic
+      "LiteReconfig-MaxContent-ResNet",     // content-aware, detector feature
+      "LiteReconfig-MaxContent-MobileNet",  // content-aware, external feature
+  };
+  TablePrinter table({"SLO (ms)", "Strategy", "mAP (%)", "Mean latency (ms)",
+                      "P95 (ms)"});
+  for (double slo : {33.3, 40.0, 50.0, 66.7, 100.0}) {
+    for (const std::string& name : strategies) {
+      std::unique_ptr<LiteReconfigProtocol> protocol =
+          MakeVariant(&wb.models(), name);
+      EvalConfig config;
+      config.slo_ms = slo;
+      EvalResult result = OnlineRunner::Run(*protocol, wb.validation(), config);
+      table.AddRow({FmtDouble(slo, 1), name, FmtDouble(result.map * 100.0, 1),
+                    FmtDouble(result.mean_ms, 1), FmtDouble(result.p95_ms, 1)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 2): the ResNet content-aware curve "
+               "dominates the\ncontent-agnostic one; always-on MobileNetV2 "
+               "trails at tight objectives because\nits 154 ms extraction "
+               "consumes the kernel's budget.\n";
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main() {
+  litereconfig::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Table 1: the features the scheduler can use, their
+// dimensionality, and their extraction / accuracy-model-prediction costs on the
+// Jetson TX2 profile. Also reports the *host* time of this repo's real feature
+// computations (HoC/HOG run for real on the frame raster) for reference.
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/features/feature.h"
+#include "src/platform/latency.h"
+#include "src/video/raster.h"
+
+namespace litereconfig {
+namespace {
+
+double HostExtractMicros(FeatureKind kind, const SyntheticVideo& video) {
+  DetectionList anchor = FasterRcnnSim::Detect(video, 0, {448, 100});
+  // Warm up once, then time a few repetitions.
+  ExtractFeature(kind, video, 0, anchor);
+  constexpr int kReps = 20;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    ExtractFeature(kind, video, i % video.frame_count(), anchor);
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() / kReps;
+}
+
+void Run() {
+  std::cout << "=== Table 1: scheduler features and their costs (TX2 profile) ===\n";
+  LatencyModel tx2(DeviceType::kTx2, 0.0);
+  VideoSpec spec;
+  spec.seed = 99;
+  spec.frame_count = 30;
+  spec.archetype = SceneArchetype::kCrowded;
+  SyntheticVideo video = SyntheticVideo::Generate(spec);
+
+  TablePrinter table({"Feature", "Dim", "Extract (ms)", "Predict (ms)", "Placement",
+                      "Host extract (us)"});
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    FeatureKind kind = static_cast<FeatureKind>(k);
+    const FeatureCost& cost = GetFeatureCost(kind);
+    table.AddRow({std::string(FeatureName(kind)),
+                  std::to_string(FeatureDimension(kind)),
+                  FmtDouble(tx2.FeatureExtractMs(kind), 2),
+                  FmtDouble(tx2.FeaturePredictMs(kind), 2),
+                  cost.extract_on_gpu ? "GPU" : "CPU",
+                  FmtDouble(HostExtractMicros(kind, video), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference (TX2): Light 0.12/3.71, HoC 14.14/4.94, "
+               "HOG 25.32/4.93,\nResNet50 26.96/6.07, CPoP 3.62/4.84, "
+               "MobileNetV2 153.96/9.33 (extract/predict ms).\n";
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main() {
+  litereconfig::Run();
+  return 0;
+}

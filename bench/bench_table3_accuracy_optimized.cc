@@ -1,0 +1,98 @@
+// Reproduces paper Table 3: LiteReconfig vs. the accuracy-optimized video object
+// detection systems (SELSA, MEGA, REPP), EfficientDet D0/D3, and AdaScale — mAP,
+// mean per-frame latency, and memory on the TX2 with no contention, plus the
+// headline speedup factors.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace litereconfig {
+namespace {
+
+struct Row {
+  std::string name;
+  std::unique_ptr<Protocol> protocol;
+};
+
+void Run() {
+  std::cout << "=== Table 3: comparison with accuracy-optimized systems "
+               "(TX2, no contention) ===\n";
+  const Workbench& wb = Workbench::Get(DeviceType::kTx2);
+  std::vector<Row> rows;
+  auto fixed = [](BaselineFamily family, int shape, const char* name) {
+    return Row{name, std::make_unique<FixedDetectorProtocol>(family, shape, name)};
+  };
+  rows.push_back(fixed(BaselineFamily::kSelsa101, 600, "SELSA-ResNet-101, no SLO"));
+  rows.push_back(fixed(BaselineFamily::kSelsa50, 600, "SELSA-ResNet-50, no SLO"));
+  rows.push_back(fixed(BaselineFamily::kMega101, 600, "MEGA-ResNet-101, no SLO"));
+  rows.push_back(fixed(BaselineFamily::kMega50, 600, "MEGA-ResNet-50, no SLO"));
+  rows.push_back(fixed(BaselineFamily::kMegaBase, 600, "MEGA-ResNet-50 (base), no SLO"));
+  rows.push_back(fixed(BaselineFamily::kReppFgfa, 600, "REPP, over FGFA, no SLO"));
+  rows.push_back(fixed(BaselineFamily::kReppSelsa, 600, "REPP, over SELSA"));
+  rows.push_back(fixed(BaselineFamily::kReppYolo, 416, "REPP, over YOLOv3"));
+  rows.push_back(fixed(BaselineFamily::kEfficientDetD3, 896, "EfficientDet D3"));
+  rows.push_back(fixed(BaselineFamily::kEfficientDetD0, 512, "EfficientDet D0"));
+  rows.push_back({"AdaScale-MS, no SLO", std::make_unique<AdaScaleMsProtocol>()});
+  for (int scale : {600, 480, 360, 240}) {
+    std::string name = "AdaScale-SS-" + std::to_string(scale) + ", no SLO";
+    rows.push_back(fixed(BaselineFamily::kAdaScale, scale, name.c_str()));
+  }
+
+  TablePrinter table({"Models, latency SLO", "mAP (%)", "Mean latency (ms)",
+                      "Memory (GB)"});
+  double selsa50_mean = 0.0;
+  double mega_base_mean = 0.0;
+  double repp_yolo_mean = 0.0;
+  for (Row& row : rows) {
+    EvalConfig config;
+    config.slo_ms = 1e9;  // accuracy-optimized systems run with no SLO
+    EvalResult result = OnlineRunner::Run(*row.protocol, wb.validation(), config);
+    std::string map_cell = result.oom ? "OOM" : FmtDouble(result.map * 100.0, 1);
+    std::string lat_cell = result.oom ? "OOM" : FmtDouble(result.mean_ms, 1);
+    table.AddRow({row.name, map_cell, lat_cell,
+                  FmtDouble(row.protocol->MemoryGb(), 2)});
+    if (row.name.rfind("SELSA-ResNet-50", 0) == 0) {
+      selsa50_mean = result.mean_ms;
+    }
+    if (row.name.rfind("MEGA-ResNet-50 (base)", 0) == 0) {
+      mega_base_mean = result.mean_ms;
+    }
+    if (row.name == "REPP, over YOLOv3") {
+      repp_yolo_mean = result.mean_ms;
+    }
+  }
+  table.AddSeparator();
+  double lrc_333_mean = 0.0;
+  for (double slo : {100.0, 50.0, 33.3}) {
+    LiteReconfigProtocol protocol(&wb.models(), LiteReconfigProtocol::FullConfig(),
+                                  "LiteReconfig");
+    EvalConfig config;
+    config.slo_ms = slo;
+    EvalResult result = OnlineRunner::Run(protocol, wb.validation(), config);
+    table.AddRow({"LiteReconfig, " + FmtDouble(slo, 1) + " ms",
+                  FmtDouble(result.map * 100.0, 1), FmtDouble(result.mean_ms, 1),
+                  FmtDouble(protocol.MemoryGb(), 2)});
+    if (slo == 33.3) {
+      lrc_333_mean = result.mean_ms;
+    }
+  }
+  table.Print(std::cout);
+  if (lrc_333_mean > 0.0) {
+    std::cout << "\nSpeedups of LiteReconfig @33.3ms (claim C3; paper: 74.9x / "
+                 "30.5x / 20.0x):\n"
+              << "  vs SELSA-ResNet-50:    " << FmtDouble(selsa50_mean / lrc_333_mean, 1)
+              << "x\n"
+              << "  vs MEGA-ResNet-50 base:" << FmtDouble(mega_base_mean / lrc_333_mean, 1)
+              << "x\n"
+              << "  vs REPP over YOLOv3:   " << FmtDouble(repp_yolo_mean / lrc_333_mean, 1)
+              << "x\n";
+  }
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main() {
+  litereconfig::Run();
+  return 0;
+}

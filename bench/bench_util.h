@@ -1,0 +1,71 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/approxdet.h"
+#include "src/baselines/fixed_protocols.h"
+#include "src/baselines/knob_protocols.h"
+#include "src/pipeline/litereconfig_protocol.h"
+#include "src/pipeline/runner.h"
+#include "src/pipeline/workbench.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace litereconfig {
+
+// Formats an mAP cell: "F" when the protocol misses the SLO, "OOM" when it
+// cannot run at all, else the percentage (paper Table 2 convention).
+inline std::string MapCell(const EvalResult& result, double slo_ms) {
+  if (result.oom) {
+    return "OOM";
+  }
+  if (!result.MeetsSlo(slo_ms)) {
+    return "F";
+  }
+  return FmtDouble(result.map * 100.0, 1);
+}
+
+inline std::string LatencyCell(const EvalResult& result) {
+  if (result.oom) {
+    return "OOM";
+  }
+  return FmtDouble(result.p95_ms, 1);
+}
+
+// The paper's four LiteReconfig variants (Section 4).
+inline std::unique_ptr<LiteReconfigProtocol> MakeVariant(const TrainedModels* models,
+                                                         const std::string& name) {
+  if (name == "LiteReconfig") {
+    return std::make_unique<LiteReconfigProtocol>(
+        models, LiteReconfigProtocol::FullConfig(), name);
+  }
+  if (name == "LiteReconfig-MinCost") {
+    return std::make_unique<LiteReconfigProtocol>(
+        models, LiteReconfigProtocol::MinCostConfig(), name);
+  }
+  if (name == "LiteReconfig-MaxContent-ResNet") {
+    return std::make_unique<LiteReconfigProtocol>(
+        models, LiteReconfigProtocol::MaxContentConfig(FeatureKind::kResNet50), name);
+  }
+  if (name == "LiteReconfig-MaxContent-MobileNet") {
+    return std::make_unique<LiteReconfigProtocol>(
+        models, LiteReconfigProtocol::MaxContentConfig(FeatureKind::kMobileNetV2),
+        name);
+  }
+  return nullptr;
+}
+
+inline const std::vector<std::string>& VariantNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "LiteReconfig-MinCost", "LiteReconfig-MaxContent-ResNet",
+      "LiteReconfig-MaxContent-MobileNet", "LiteReconfig"};
+  return *names;
+}
+
+}  // namespace litereconfig
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Pareto explorer: profiles every execution branch of the MBEK on a content
+// sample (accuracy from actual kernel runs, latency from the platform model)
+// and prints the accuracy-latency Pareto frontier — the curve from the paper's
+// Figure 1 (bottom right) that the scheduler strives to stay on, and how it
+// shifts between slow and fast content.
+#include <iostream>
+
+#include "src/mbek/kernel.h"
+#include "src/mbek/pareto.h"
+#include "src/pipeline/workbench.h"
+#include "src/platform/latency.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace litereconfig;
+
+namespace {
+
+void ExploreArchetype(SceneArchetype archetype) {
+  const BranchSpace& space = BranchSpace::Default();
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+
+  // A couple of snippets of this content type.
+  std::vector<SyntheticVideo> videos;
+  for (uint64_t seed = 500; seed < 503; ++seed) {
+    VideoSpec spec;
+    spec.seed = seed;
+    spec.frame_count = 60;
+    spec.archetype = archetype;
+    videos.push_back(SyntheticVideo::Generate(spec));
+  }
+
+  std::vector<OperatingPoint> points;
+  points.reserve(space.size());
+  for (const Branch& branch : space.branches()) {
+    double accuracy = 0.0;
+    for (const SyntheticVideo& video : videos) {
+      accuracy += ExecutionKernel::SnippetAccuracy(video, 0, 60, branch);
+    }
+    accuracy /= static_cast<double>(videos.size());
+    points.push_back({platform.BranchFrameMs(branch, 3), accuracy});
+  }
+  std::vector<size_t> frontier = ParetoFrontier(points);
+
+  std::cout << "\n--- Pareto frontier on '" << ArchetypeName(archetype)
+            << "' content (" << frontier.size() << " of " << space.size()
+            << " branches) ---\n";
+  TablePrinter table({"Branch", "Frame latency (ms)", "mAP (%)"});
+  for (size_t idx : frontier) {
+    table.AddRow({space.at(idx).Id(), FmtDouble(points[idx].latency_ms, 1),
+                  FmtDouble(points[idx].accuracy * 100.0, 1)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Profiling the MBEK's accuracy-latency operating points on two "
+               "content regimes...\n";
+  ExploreArchetype(SceneArchetype::kSlowLarge);
+  ExploreArchetype(SceneArchetype::kFastSmall);
+  std::cout << "\nThe frontier is content-dependent: on slow content the long-"
+               "GoF cheap-tracker\nbranches dominate, on fast content the "
+               "frontier needs shorter GoFs and more\nrobust trackers — which "
+               "is why a content-aware scheduler wins.\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "src/baselines/approxdet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/features/light.h"
+#include "src/mbek/kernel.h"
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr double kCalibrationEwma = 0.3;
+
+}  // namespace
+
+ApproxDetProtocol::ApproxDetProtocol(const TrainedModels* models) : models_(models) {
+  assert(models_ != nullptr && models_->space != nullptr);
+  assert(models_->mean_branch_accuracy.size() == models_->space->size());
+}
+
+size_t ApproxDetProtocol::Decide(const std::vector<double>& light, double gpu_cal,
+                                 double cpu_cal, double slo_ms,
+                                 int frames_remaining, bool* feasible) const {
+  constexpr double kSloMargin = 0.93;
+  const BranchSpace& space = *models_->space;
+  double best_acc = -1.0;
+  size_t best = 0;
+  double cheapest_ms = std::numeric_limits<double>::infinity();
+  size_t cheapest = 0;
+  for (size_t b = 0; b < space.size(); ++b) {
+    int effective_gof = std::min(space.at(b).gof, std::max(1, frames_remaining));
+    double frame_ms =
+        models_->latency.PredictFrameMs(b, light, gpu_cal, cpu_cal, effective_gof) *
+            kKernelSlowdown +
+        kPerFrameOverheadMs + kSchedulerMs / static_cast<double>(effective_gof);
+    if (frame_ms < cheapest_ms) {
+      cheapest_ms = frame_ms;
+      cheapest = b;
+    }
+    if (frame_ms > slo_ms * kSloMargin) {
+      continue;
+    }
+    if (models_->mean_branch_accuracy[b] > best_acc) {
+      best_acc = models_->mean_branch_accuracy[b];
+      best = b;
+    }
+  }
+  if (feasible != nullptr) {
+    *feasible = best_acc >= 0.0;
+  }
+  return best_acc >= 0.0 ? best : cheapest;
+}
+
+VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
+                                          const RunEnv& env) {
+  const BranchSpace& space = *models_->space;
+  const VideoSpec& spec = video.spec();
+  VideoRunStats stats;
+  Pcg32 rng(HashKeys({spec.seed, env.run_salt, 0xa99de7ull}));
+  DetectionList anchor;
+  double& gpu_cal = gpu_cal_;
+  std::optional<size_t> current;
+  {
+    // Preheat pass (see LiteReconfigProtocol): ApproxDet is contention-aware
+    // too, through the same observe-and-calibrate mechanism.
+    DetectorConfig probe{320, 10};
+    anchor = DetectorSim::Detect(video, 0, probe, DetectorQuality{},
+                                 HashKeys({env.run_salt, 0xa94e47ull}));
+    double observed = env.platform->Sample(
+        env.platform->DetectorMs(probe) * kKernelSlowdown, rng);
+    LatencyModel profiled(models_->device, 0.0);
+    double ratio = observed / (profiled.DetectorMs(probe) * kKernelSlowdown);
+    gpu_cal = calibrated_ ? 0.5 * gpu_cal + 0.5 * ratio : ratio;
+    calibrated_ = true;
+  }
+  int t = 0;
+  while (t < video.frame_count()) {
+    std::vector<double> light = ComputeLightFeatures(spec.width, spec.height, anchor);
+    bool feasible = true;
+    size_t choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, env.slo_ms,
+                           video.frame_count() - t, &feasible);
+    if (!feasible && current.has_value() && video.frame_count() - t <= 12 &&
+        !stats.frames.empty()) {
+      // Tail continuation (see LiteReconfigProtocol): ride out the last frames
+      // on the tracker instead of paying an unamortizable detector pass.
+      const Branch& cur_branch = space.at(*current);
+      TrackerConfig tail_tracker = cur_branch.has_tracker
+                                       ? cur_branch.tracker
+                                       : TrackerConfig{TrackerType::kMedianFlow, 4};
+      const DetectionList& last_frame = stats.frames.back();
+      std::vector<DetectionList> tail = ExecutionKernel::TrackOnly(
+          video, t, video.frame_count() - t, tail_tracker, last_frame, env.run_salt);
+      if (tail.empty()) {
+        break;
+      }
+      int tracked = CountConfident(last_frame);
+      double track_total = 0.0;
+      for (size_t i = 0; i < tail.size(); ++i) {
+        track_total += env.platform->Sample(
+            env.platform->TrackerMs(tail_tracker, tracked), rng);
+      }
+      stats.tracker_ms += track_total;
+      stats.scheduler_ms += kPerFrameOverheadMs * static_cast<double>(tail.size());
+      stats.gof_frame_ms.push_back(track_total / static_cast<double>(tail.size()) +
+                                   kPerFrameOverheadMs);
+      stats.gof_lengths.push_back(static_cast<int>(tail.size()));
+      t += static_cast<int>(tail.size());
+      for (DetectionList& frame : tail) {
+        stats.frames.push_back(std::move(frame));
+      }
+      continue;
+    }
+    const Branch& branch = space.at(choice);
+    double switch_sample = 0.0;
+    if (current.has_value() && *current != choice) {
+      switch_sample = env.switching->OnlineCostMs(space.at(*current), branch,
+                                                  stats.switch_count, rng);
+      ++stats.switch_count;
+    }
+    GofResult gof = ExecutionKernel::RunGof(video, t, branch, env.run_salt);
+    if (gof.frames.empty()) {
+      break;
+    }
+    double det_mean = env.platform->DetectorMs(branch.detector) * kKernelSlowdown;
+    double det_sample = env.platform->Sample(det_mean, rng);
+    // Contention adaptation: calibrate against the zero-contention profile.
+    double profiled = models_->latency.DetectorMs(choice) * kKernelSlowdown;
+    if (profiled > 0.0) {
+      gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
+                kCalibrationEwma * (det_sample / profiled);
+    }
+    double track_total = 0.0;
+    if (branch.has_tracker) {
+      int tracked = CountConfident(gof.anchor_detections);
+      for (size_t i = 1; i < gof.frames.size(); ++i) {
+        track_total += env.platform->Sample(
+            env.platform->TrackerMs(branch.tracker, tracked), rng);
+      }
+    }
+    double len = static_cast<double>(gof.frames.size());
+    stats.detector_ms += det_sample;
+    stats.tracker_ms += track_total;
+    stats.scheduler_ms += kSchedulerMs + kPerFrameOverheadMs * len;
+    stats.switch_ms += switch_sample;
+    stats.gof_frame_ms.push_back(
+        (det_sample + track_total + kSchedulerMs + switch_sample) / len +
+        kPerFrameOverheadMs);
+    stats.gof_lengths.push_back(static_cast<int>(len));
+    stats.branches_used.insert(branch.Id());
+    anchor = gof.anchor_detections;
+    for (DetectionList& frame : gof.frames) {
+      stats.frames.push_back(std::move(frame));
+    }
+    t += static_cast<int>(len);
+    current = choice;
+  }
+  return stats;
+}
+
+}  // namespace litereconfig

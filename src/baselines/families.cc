@@ -1,0 +1,122 @@
+#include "src/baselines/families.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr int kNumFamilies = static_cast<int>(BaselineFamily::kCount);
+
+constexpr std::string_view kFamilyNames[kNumFamilies] = {
+    "ssd",   "yolov3", "efficientdet_d0", "efficientdet_d3", "adascale",
+    "selsa_r50", "selsa_r101", "mega_r50_base", "repp_yolov3",
+    "mega_r101", "mega_r50", "repp_fgfa", "repp_selsa"};
+
+// family_salt, size_midpoint, size_slope, motion_half_speed, fp_scale,
+// loc_noise_scale, class_accuracy, coverage_scale.
+constexpr DetectorQuality kQualities[kNumFamilies] = {
+    {0x55dull, 22.0, 7.0, 50.0, 0.80, 1.15, 0.88, 1.30},   // SSD (weak on small)
+    {0x101aull, 20.0, 6.5, 60.0, 0.90, 1.05, 0.89, 1.20},  // YOLOv3
+    {0xeffd0ull, 21.0, 6.5, 55.0, 0.70, 1.00, 0.90, 1.15}, // EfficientDet D0
+    {0xeffd3ull, 13.0, 5.5, 60.0, 0.50, 0.85, 0.94, 0.90}, // EfficientDet D3
+    {0xada5ull, 16.0, 6.0, 55.0, 1.00, 1.00, 0.90, 1.00},  // AdaScale (FRCNN)
+    {0x5e15a0ull, 11.0, 5.0, 140.0, 0.35, 0.70, 0.96, 0.70},  // SELSA-R50
+    {0x5e15a1ull, 10.0, 5.0, 160.0, 0.30, 0.65, 0.97, 0.65},  // SELSA-R101
+    {0x3e6aull, 12.0, 5.0, 120.0, 0.45, 0.75, 0.95, 0.75},    // MEGA base
+    {0x3e99ull, 14.5, 5.5, 105.0, 0.40, 0.80, 0.94, 1.00},    // REPP over YOLOv3
+    // OOM-on-TX2 rows: quality profiles are never exercised on that board.
+    {0x3e67ull, 10.0, 5.0, 150.0, 0.35, 0.70, 0.96, 0.65},    // MEGA-R101
+    {0x3e68ull, 12.0, 5.0, 130.0, 0.40, 0.72, 0.95, 0.72},    // MEGA-R50
+    {0x3e9aull, 12.0, 5.0, 140.0, 0.35, 0.72, 0.95, 0.80},    // REPP over FGFA
+    {0x3e9bull, 10.0, 5.0, 150.0, 0.30, 0.68, 0.96, 0.68},    // REPP over SELSA
+};
+
+// Paper Table 3 mean latencies on the TX2 (ms) for the fixed operating points.
+constexpr double kFixedLatencyMs[kNumFamilies] = {
+    0.0,     // SSD: shape-dependent, see below
+    0.0,     // YOLOv3: shape-dependent, see below
+    138.0,   // EfficientDet D0
+    796.0,   // EfficientDet D3
+    0.0,     // AdaScale: scale-dependent, see below
+    2112.0,  // SELSA-R50
+    2334.0,  // SELSA-R101
+    861.0,   // MEGA-R50 (base)
+    565.0,   // REPP over YOLOv3
+    3000.0,  // MEGA-R101 (never completes on the TX2)
+    2500.0,  // MEGA-R50
+    2800.0,  // REPP over FGFA
+    2600.0,  // REPP over SELSA
+};
+
+constexpr double kMemoryGb[kNumFamilies] = {
+    1.9,   // SSD+
+    2.4,   // YOLO+ (matches REPP-over-YOLOv3's 2.43 backbone)
+    2.22,  // EfficientDet D0
+    5.68,  // EfficientDet D3
+    3.18,  // AdaScale
+    6.70,  // SELSA-R50
+    6.91,  // SELSA-R101
+    3.16,  // MEGA-R50 (base)
+    2.43,  // REPP over YOLOv3
+    9.38,  // MEGA-R101
+    6.42,  // MEGA-R50 (model size; runtime footprint exceeded the TX2)
+    10.02, // REPP over FGFA
+    8.13,  // REPP over SELSA
+};
+
+constexpr bool kOomOnTx2[kNumFamilies] = {
+    false, false, false, false, false, false, false, false, false,
+    true, true, true, true,
+};
+
+}  // namespace
+
+std::string_view BaselineFamilyName(BaselineFamily family) {
+  int idx = static_cast<int>(family);
+  assert(idx >= 0 && idx < kNumFamilies);
+  return kFamilyNames[idx];
+}
+
+const DetectorQuality& GetBaselineQuality(BaselineFamily family) {
+  int idx = static_cast<int>(family);
+  assert(idx >= 0 && idx < kNumFamilies);
+  return kQualities[idx];
+}
+
+double BaselineDetectorTx2Ms(BaselineFamily family, int shape) {
+  switch (family) {
+    case BaselineFamily::kSsd:
+      // SSD-MobileNetV2-MnasFPN: ~65 ms at its native 320 input on the TX2.
+      return 10.0 + 55.0 * std::pow(shape / 320.0, 1.7);
+    case BaselineFamily::kYolo:
+      // YOLOv3: ~128 ms at its native 416 input on the TX2.
+      return 18.0 + 110.0 * std::pow(shape / 416.0, 1.8);
+    case BaselineFamily::kAdaScale: {
+      // Interpolates the paper's measured single-scale latencies
+      // (240 -> 227.9, 360 -> 434.0, 480 -> 710.5, 600 -> 1049.4).
+      double s = shape;
+      return 227.9 + (1049.4 - 227.9) * std::pow((s - 240.0) / 360.0, 1.35);
+    }
+    default: {
+      double fixed = kFixedLatencyMs[static_cast<int>(family)];
+      assert(fixed > 0.0);
+      return fixed;
+    }
+  }
+}
+
+double BaselineMemoryGb(BaselineFamily family) {
+  int idx = static_cast<int>(family);
+  assert(idx >= 0 && idx < kNumFamilies);
+  return kMemoryGb[idx];
+}
+
+bool BaselineOomOnTx2(BaselineFamily family) {
+  int idx = static_cast<int>(family);
+  assert(idx >= 0 && idx < kNumFamilies);
+  return kOomOnTx2[idx];
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,108 @@
+#include "src/baselines/fixed_protocols.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr int kAdaScaleScales[] = {240, 360, 480, 600};
+// The regressor aims for objects around this apparent height (px).
+constexpr double kAdaScaleTargetPx = 56.0;
+
+VideoRunStats OomStats() {
+  VideoRunStats stats;
+  stats.oom = true;
+  return stats;
+}
+
+}  // namespace
+
+FixedDetectorProtocol::FixedDetectorProtocol(BaselineFamily family, int shape,
+                                             std::string name)
+    : family_(family), shape_(shape), name_(std::move(name)) {}
+
+VideoRunStats FixedDetectorProtocol::RunVideo(const SyntheticVideo& video,
+                                              const RunEnv& env) {
+  const DeviceProfile& device = GetDeviceProfile(env.platform->device());
+  bool oom = MemoryGb() > device.memory_gb ||
+             (env.platform->device() == DeviceType::kTx2 && BaselineOomOnTx2(family_));
+  if (oom) {
+    return OomStats();
+  }
+  VideoRunStats stats;
+  DetectorConfig config{shape_, 100};
+  const DetectorQuality& quality = GetBaselineQuality(family_);
+  double mean_ms = env.platform->GpuScaledMs(BaselineDetectorTx2Ms(family_, shape_));
+  Pcg32 rng(HashKeys({video.spec().seed, env.run_salt,
+                      static_cast<uint64_t>(family_), 0xf1dull}));
+  for (int t = 0; t < video.frame_count(); ++t) {
+    stats.frames.push_back(
+        DetectorSim::Detect(video, t, config, quality, env.run_salt));
+    double sample = env.platform->Sample(mean_ms, rng);
+    stats.gof_frame_ms.push_back(sample);
+    stats.gof_lengths.push_back(1);
+    stats.detector_ms += sample;
+  }
+  stats.branches_used.insert(name_);
+  return stats;
+}
+
+AdaScaleMsProtocol::AdaScaleMsProtocol() = default;
+
+int AdaScaleMsProtocol::PickScale(double mean_height_fraction) {
+  if (mean_height_fraction <= 0.0) {
+    return kAdaScaleScales[3];  // nothing detected: use the finest scale
+  }
+  for (int scale : kAdaScaleScales) {
+    if (mean_height_fraction * scale >= kAdaScaleTargetPx) {
+      return scale;
+    }
+  }
+  return kAdaScaleScales[3];
+}
+
+VideoRunStats AdaScaleMsProtocol::RunVideo(const SyntheticVideo& video,
+                                           const RunEnv& env) {
+  const DeviceProfile& device = GetDeviceProfile(env.platform->device());
+  if (MemoryGb() > device.memory_gb) {
+    return OomStats();
+  }
+  VideoRunStats stats;
+  const DetectorQuality& quality = GetBaselineQuality(BaselineFamily::kAdaScale);
+  Pcg32 rng(HashKeys({video.spec().seed, env.run_salt, 0xada5ca1eull}));
+  int scale = kAdaScaleScales[3];
+  for (int t = 0; t < video.frame_count(); ++t) {
+    DetectorConfig config{scale, 100};
+    DetectionList dets = DetectorSim::Detect(video, t, config, quality, env.run_salt);
+    double mean_ms = env.platform->GpuScaledMs(
+        BaselineDetectorTx2Ms(BaselineFamily::kAdaScale, scale));
+    double sample = env.platform->Sample(mean_ms, rng);
+    stats.gof_frame_ms.push_back(sample);
+    stats.gof_lengths.push_back(1);
+    stats.detector_ms += sample;
+    stats.branches_used.insert("adascale_s" + std::to_string(scale));
+    // Regress the next frame's scale from this frame's detections.
+    double height_sum = 0.0;
+    int count = 0;
+    for (const Detection& det : dets) {
+      if (det.score >= 0.3) {
+        height_sum += det.box.h;
+        ++count;
+      }
+    }
+    double mean_fraction =
+        count > 0 ? height_sum / count / video.spec().height : 0.0;
+    int next_scale = PickScale(mean_fraction);
+    if (next_scale != scale) {
+      ++stats.switch_count;
+      scale = next_scale;
+    }
+    stats.frames.push_back(std::move(dets));
+  }
+  return stats;
+}
+
+}  // namespace litereconfig

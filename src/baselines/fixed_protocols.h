@@ -1,0 +1,48 @@
+// Fixed-operating-point baselines (paper Table 3): the accuracy-optimized models
+// (SELSA, MEGA, REPP), EfficientDet D0/D3, and AdaScale's single-scale variants
+// run the detector on every frame at one setting; AdaScale-MS adapts its input
+// scale to the content but remains detector-only.
+#ifndef SRC_BASELINES_FIXED_PROTOCOLS_H_
+#define SRC_BASELINES_FIXED_PROTOCOLS_H_
+
+#include <string>
+
+#include "src/baselines/families.h"
+#include "src/pipeline/protocol.h"
+
+namespace litereconfig {
+
+class FixedDetectorProtocol : public Protocol {
+ public:
+  FixedDetectorProtocol(BaselineFamily family, int shape, std::string name);
+
+  std::string_view name() const override { return name_; }
+  double MemoryGb() const override { return BaselineMemoryGb(family_); }
+  VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) override;
+
+ private:
+  BaselineFamily family_;
+  int shape_;
+  std::string name_;
+};
+
+// AdaScale's multi-scale variant: each frame's scale is regressed from the
+// previous frame's detected object sizes (larger objects -> smaller scale).
+class AdaScaleMsProtocol : public Protocol {
+ public:
+  AdaScaleMsProtocol();
+
+  std::string_view name() const override { return "AdaScale-MS"; }
+  double MemoryGb() const override {
+    return BaselineMemoryGb(BaselineFamily::kAdaScale);
+  }
+  VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) override;
+
+  // The scale the regressor picks for a given mean detected box height
+  // (fraction of frame height); exposed for tests.
+  static int PickScale(double mean_height_fraction);
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_BASELINES_FIXED_PROTOCOLS_H_

@@ -1,0 +1,173 @@
+#include "src/baselines/knob_protocols.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/features/light.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr double kProfileSafetyMargin = 0.92;
+constexpr int kProfileSnippetLength = 40;
+// Typical object count assumed when profiling tracker latency.
+constexpr int kProfileObjectCount = 3;
+
+}  // namespace
+
+Branch KnobSetting::ToBranch() const {
+  Branch branch;
+  branch.detector = {shape, 100};  // one-stage models have no nprop knob
+  branch.gof = has_tracker ? gof : 1;
+  branch.has_tracker = has_tracker;
+  branch.tracker = tracker;
+  return branch;
+}
+
+std::string KnobSetting::Id(BaselineFamily family) const {
+  std::string base = StrFormat("%s_s%d", std::string(BaselineFamilyName(family)).c_str(),
+                               shape);
+  if (!has_tracker) {
+    return base + "_det";
+  }
+  return base + StrFormat("_g%d_%s_ds%d", gof,
+                          std::string(TrackerName(tracker.type)).c_str(),
+                          tracker.downsample);
+}
+
+std::vector<KnobSetting> StaticKnobProtocol::KnobSpace(BaselineFamily family) {
+  std::vector<int> shapes;
+  if (family == BaselineFamily::kSsd) {
+    shapes = {224, 288, 320, 384, 448, 512};
+  } else {
+    shapes = {256, 320, 384, 416, 480, 512};
+  }
+  constexpr int kGofs[] = {2, 4, 8, 20, 50};
+  constexpr TrackerConfig kTrackers[] = {
+      {TrackerType::kMedianFlow, 4},
+      {TrackerType::kKcf, 2},
+  };
+  std::vector<KnobSetting> space;
+  for (int shape : shapes) {
+    KnobSetting det_only;
+    det_only.shape = shape;
+    det_only.has_tracker = false;
+    det_only.gof = 1;
+    space.push_back(det_only);
+    for (int gof : kGofs) {
+      for (const TrackerConfig& tracker : kTrackers) {
+        KnobSetting setting;
+        setting.shape = shape;
+        setting.gof = gof;
+        setting.has_tracker = true;
+        setting.tracker = tracker;
+        space.push_back(setting);
+      }
+    }
+  }
+  return space;
+}
+
+StaticKnobProtocol::StaticKnobProtocol(BaselineFamily family, std::string name,
+                                       const Dataset& profiling_data,
+                                       const LatencyModel& profile_platform,
+                                       double slo_ms, int max_profile_snippets)
+    : family_(family), name_(std::move(name)) {
+  assert(profile_platform.contention().level() == 0.0 &&
+         "profiling runs without contention");
+  std::vector<SnippetRef> snippets =
+      MakeSnippets(profiling_data, kProfileSnippetLength, kProfileSnippetLength * 2);
+  if (static_cast<int>(snippets.size()) > max_profile_snippets) {
+    snippets.resize(static_cast<size_t>(max_profile_snippets));
+  }
+  const DetectorQuality& quality = GetBaselineQuality(family_);
+  double best_accuracy = -1.0;
+  for (const KnobSetting& setting : KnobSpace(family_)) {
+    KnobProfileEntry entry;
+    entry.setting = setting;
+    Branch branch = setting.ToBranch();
+    double acc_sum = 0.0;
+    for (const SnippetRef& snippet : snippets) {
+      acc_sum += ExecutionKernel::SnippetAccuracy(*snippet.video, snippet.start,
+                                                  snippet.length, branch,
+                                                  /*run_salt=*/0xbeef, quality);
+    }
+    entry.mean_accuracy =
+        snippets.empty() ? 0.0 : acc_sum / static_cast<double>(snippets.size());
+    double det_ms =
+        profile_platform.GpuScaledMs(BaselineDetectorTx2Ms(family_, setting.shape));
+    if (setting.has_tracker) {
+      double track_ms =
+          profile_platform.TrackerMs(setting.tracker, kProfileObjectCount);
+      entry.mean_frame_ms =
+          (det_ms + track_ms * (setting.gof - 1)) / static_cast<double>(setting.gof);
+    } else {
+      entry.mean_frame_ms = det_ms;
+    }
+    profile_.push_back(entry);
+    if (entry.mean_frame_ms <= slo_ms * kProfileSafetyMargin &&
+        entry.mean_accuracy > best_accuracy) {
+      best_accuracy = entry.mean_accuracy;
+      chosen_ = setting;
+    }
+  }
+  if (best_accuracy < 0.0) {
+    // Nothing fits the objective: run the cheapest setting (the run will
+    // violate the SLO and be reported as "F", as in the paper).
+    auto cheapest = std::min_element(
+        profile_.begin(), profile_.end(),
+        [](const KnobProfileEntry& a, const KnobProfileEntry& b) {
+          return a.mean_frame_ms < b.mean_frame_ms;
+        });
+    chosen_ = cheapest->setting;
+  }
+}
+
+VideoRunStats StaticKnobProtocol::RunVideo(const SyntheticVideo& video,
+                                           const RunEnv& env) {
+  const DeviceProfile& device = GetDeviceProfile(env.platform->device());
+  VideoRunStats stats;
+  if (MemoryGb() > device.memory_gb) {
+    stats.oom = true;
+    return stats;
+  }
+  const DetectorQuality& quality = GetBaselineQuality(family_);
+  Branch branch = chosen_.ToBranch();
+  double det_mean =
+      env.platform->GpuScaledMs(BaselineDetectorTx2Ms(family_, chosen_.shape));
+  Pcg32 rng(HashKeys({video.spec().seed, env.run_salt,
+                      static_cast<uint64_t>(family_), 0x40bull}));
+  stats.branches_used.insert(chosen_.Id(family_));
+  int t = 0;
+  while (t < video.frame_count()) {
+    GofResult gof = ExecutionKernel::RunGof(video, t, branch, env.run_salt, quality);
+    if (gof.frames.empty()) {
+      break;
+    }
+    double det_sample = env.platform->Sample(det_mean, rng);
+    stats.detector_ms += det_sample;
+    double track_total = 0.0;
+    if (branch.has_tracker) {
+      int tracked = CountConfident(gof.anchor_detections);
+      for (size_t i = 1; i < gof.frames.size(); ++i) {
+        double sample =
+            env.platform->Sample(env.platform->TrackerMs(branch.tracker, tracked), rng);
+        track_total += sample;
+      }
+    }
+    stats.tracker_ms += track_total;
+    stats.gof_frame_ms.push_back((det_sample + track_total) /
+                                 static_cast<double>(gof.frames.size()));
+    stats.gof_lengths.push_back(static_cast<int>(gof.frames.size()));
+    for (DetectionList& frame : gof.frames) {
+      stats.frames.push_back(std::move(frame));
+    }
+    t += static_cast<int>(gof.frames.size());
+  }
+  return stats;
+}
+
+}  // namespace litereconfig

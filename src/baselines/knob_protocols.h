@@ -1,0 +1,66 @@
+// SSD+ and YOLO+: the paper's efficiency-enhanced one-stage baselines.
+//
+// The paper exposes ApproxDet-style tuning knobs (input shape, GoF size, tracker
+// type, downsampling) on SSD and YOLOv3. These systems are SLO-adaptive — an
+// offline profiling pass picks the most accurate knob setting whose profiled
+// latency fits the objective — but NOT contention-adaptive: the chosen setting is
+// fixed for the whole run, so when GPU contention inflates the detector they
+// violate the SLO (paper Table 2's "F" cells under 50% contention).
+#ifndef SRC_BASELINES_KNOB_PROTOCOLS_H_
+#define SRC_BASELINES_KNOB_PROTOCOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/families.h"
+#include "src/mbek/kernel.h"
+#include "src/pipeline/protocol.h"
+#include "src/video/dataset.h"
+
+namespace litereconfig {
+
+struct KnobSetting {
+  int shape = 320;
+  int gof = 8;
+  bool has_tracker = true;
+  TrackerConfig tracker;
+
+  Branch ToBranch() const;
+  std::string Id(BaselineFamily family) const;
+};
+
+struct KnobProfileEntry {
+  KnobSetting setting;
+  double mean_accuracy = 0.0;
+  double mean_frame_ms = 0.0;  // GoF-amortized, zero contention
+};
+
+class StaticKnobProtocol : public Protocol {
+ public:
+  // Profiles the family's knob space on `profiling_data` (training videos)
+  // against a zero-contention platform model, then fixes the best setting whose
+  // profiled latency fits `slo_ms` with a small safety margin.
+  StaticKnobProtocol(BaselineFamily family, std::string name,
+                     const Dataset& profiling_data, const LatencyModel& profile_platform,
+                     double slo_ms, int max_profile_snippets = 30);
+
+  std::string_view name() const override { return name_; }
+  double MemoryGb() const override { return BaselineMemoryGb(family_); }
+  VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) override;
+
+  const KnobSetting& chosen_setting() const { return chosen_; }
+  const std::vector<KnobProfileEntry>& profile() const { return profile_; }
+
+  // The family's knob space (shapes x GoF sizes x trackers).
+  static std::vector<KnobSetting> KnobSpace(BaselineFamily family);
+
+ private:
+  BaselineFamily family_;
+  std::string name_;
+  std::vector<KnobProfileEntry> profile_;
+  KnobSetting chosen_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_BASELINES_KNOB_PROTOCOLS_H_

@@ -1,0 +1,90 @@
+// Analytic object detector model.
+//
+// The real system runs detector CNNs whose accuracy responds to two knobs: the
+// input shape (short-side resolution after resizing) and, for two-stage models,
+// the number of region proposals kept after the RPN (nprop). This model reproduces
+// those response surfaces directly:
+//   * per-object recall is a product of (a) apparent-size detectability at the
+//     chosen shape, (b) motion-blur attenuation, (c) occlusion attenuation, and
+//     (d) proposal coverage, which ranks objects by salience and taxes low ranks
+//     when nprop is small or the scene is cluttered;
+//   * localization noise shrinks with shape and grows with speed;
+//   * false positives grow with nprop and scene clutter;
+//   * classification errors occur at a small size-dependent rate.
+// Every draw is seeded by (video, frame, knobs, family, run salt): a given branch
+// produces identical detections whenever it is re-run, as a deployed network would.
+//
+// Different detector families (Faster R-CNN, SSD, YOLOv3, EfficientDet, and the
+// accuracy-optimized video models SELSA/MEGA/REPP) share this machinery through a
+// DetectorQuality profile that shifts the response surfaces.
+#ifndef SRC_DET_DETECTOR_H_
+#define SRC_DET_DETECTOR_H_
+
+#include <cstdint>
+
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+// Detector knobs (paper Figure 5 identifies detector branches by this pair).
+struct DetectorConfig {
+  int shape = 448;   // short-side input resolution
+  int nprop = 100;   // region proposals kept
+
+  bool operator==(const DetectorConfig&) const = default;
+};
+
+inline constexpr int kDetectorShapes[] = {224, 320, 448, 576};
+inline constexpr int kDetectorNprops[] = {1, 10, 100};
+
+// Family-specific response-surface coefficients. Defaults model Faster R-CNN
+// with a ResNet-50 backbone (the MBEK's detector).
+struct DetectorQuality {
+  // Distinguishes RNG streams of different families on the same frame.
+  uint64_t family_salt = 0;
+  // Apparent height (px) at which recall reaches 50%; lower catches smaller
+  // objects. Single-stage detectors are weaker on small objects (higher value).
+  double size_midpoint = 16.0;
+  double size_slope = 6.0;
+  // Apparent speed (px/frame) at which motion blur halves recall.
+  double motion_half_speed = 55.0;
+  // Multiplier on the false-positive rate.
+  double fp_scale = 1.0;
+  // Multiplier on localization noise.
+  double loc_noise_scale = 1.0;
+  // Base classification accuracy.
+  double class_accuracy = 0.90;
+  // Multiplier applied to the coverage factor's proposal demand (two-stage
+  // models honor nprop; single-stage models keep this at 1 with nprop = 100).
+  double coverage_scale = 1.0;
+};
+
+class DetectorSim {
+ public:
+  // Runs the detector on frame t. run_salt distinguishes independent online runs.
+  static DetectionList Detect(const SyntheticVideo& video, int t,
+                              const DetectorConfig& config,
+                              const DetectorQuality& quality = {},
+                              uint64_t run_salt = 0);
+
+  // The per-object detection probability, exposed for tests and calibration.
+  static double DetectionProbability(const SyntheticVideo& video,
+                                     const SceneObjectState& object,
+                                     const DetectorConfig& config,
+                                     const DetectorQuality& quality,
+                                     int salience_rank);
+};
+
+// Backwards-compatible alias: the MBEK's detector is the Faster R-CNN profile.
+class FasterRcnnSim {
+ public:
+  static DetectionList Detect(const SyntheticVideo& video, int t,
+                              const DetectorConfig& config, uint64_t run_salt = 0) {
+    return DetectorSim::Detect(video, t, config, DetectorQuality{}, run_salt);
+  }
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_DET_DETECTOR_H_

@@ -1,0 +1,28 @@
+#include "src/features/costs.h"
+
+#include <cassert>
+
+namespace litereconfig {
+
+namespace {
+
+// Values from paper Table 1 (ms on the Jetson TX2). HoC and HOG run on the CPU;
+// ResNet50, CPoP, and MobileNetV2 use the GPU.
+constexpr FeatureCost kCosts[kNumFeatureKinds] = {
+    {0.12, 3.71, false, true},    // Light
+    {14.14, 4.94, false, true},   // HoC
+    {25.32, 4.93, false, true},   // HOG
+    {26.96, 6.07, true, true},    // ResNet50 (pooled from the detector backbone)
+    {3.62, 4.84, true, true},     // CPoP
+    {153.96, 9.33, true, true},   // MobileNetV2
+};
+
+}  // namespace
+
+const FeatureCost& GetFeatureCost(FeatureKind kind) {
+  int idx = static_cast<int>(kind);
+  assert(idx >= 0 && idx < kNumFeatureKinds);
+  return kCosts[idx];
+}
+
+}  // namespace litereconfig

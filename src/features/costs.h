@@ -1,0 +1,23 @@
+// Feature cost table (paper Table 1): per-feature extraction and accuracy-model
+// prediction costs in milliseconds, measured on the Jetson TX2. The platform
+// latency model scales these to other devices and inflates the GPU-resident ones
+// under contention.
+#ifndef SRC_FEATURES_COSTS_H_
+#define SRC_FEATURES_COSTS_H_
+
+#include "src/features/feature.h"
+
+namespace litereconfig {
+
+struct FeatureCost {
+  double extract_ms = 0.0;  // feature extraction, TX2
+  double predict_ms = 0.0;  // accuracy-model forward pass, TX2
+  bool extract_on_gpu = false;
+  bool predict_on_gpu = true;  // prediction nets run on the GPU in the paper
+};
+
+const FeatureCost& GetFeatureCost(FeatureKind kind);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_COSTS_H_

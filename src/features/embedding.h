@@ -1,0 +1,35 @@
+// Simulated neural-network features.
+//
+// The paper's ResNet50 (1024-d, from the detector backbone), CPoP (31-d class
+// prediction logits from the detector head), and MobileNetV2 (1280-d external
+// extractor) features are stand-ins here:
+//   * ResNet50 / MobileNetV2 are deterministic two-layer tanh random projections
+//     of the frame's content latent (src/video/latent.h). Each applies a
+//     feature-specific information mask first — a real backbone encodes
+//     appearance strongly and dynamics weakly; MobileNetV2, run on the raw frame,
+//     sees everything — and feature-specific observation noise.
+//   * CPoP is computed from the detector's actual output on the anchor frame:
+//     score-weighted class logits over the detections plus a clutter-driven
+//     background logit, exactly the information the Faster R-CNN head exposes.
+#ifndef SRC_FEATURES_EMBEDDING_H_
+#define SRC_FEATURES_EMBEDDING_H_
+
+#include <vector>
+
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+inline constexpr int kResNetDim = 1024;
+inline constexpr int kCpopDim = 31;  // 30 classes + background
+inline constexpr int kMobileNetDim = 1280;
+
+std::vector<double> ComputeResNetFeature(const SyntheticVideo& video, int t);
+std::vector<double> ComputeMobileNetFeature(const SyntheticVideo& video, int t);
+std::vector<double> ComputeCpopFeature(const SyntheticVideo& video, int t,
+                                       const DetectionList& anchor_detections);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_EMBEDDING_H_

@@ -1,0 +1,58 @@
+#include "src/features/feature.h"
+
+#include <cassert>
+
+#include "src/features/embedding.h"
+#include "src/features/hoc.h"
+#include "src/features/hog.h"
+#include "src/features/light.h"
+#include "src/video/raster.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr std::string_view kNames[kNumFeatureKinds] = {
+    "Light", "HoC", "HOG", "ResNet50", "CPoP", "MobileNetV2"};
+
+constexpr int kDims[kNumFeatureKinds] = {
+    kLightFeatureDim, kHocDim, kHogDim, kResNetDim, kCpopDim, kMobileNetDim};
+
+}  // namespace
+
+std::string_view FeatureName(FeatureKind kind) {
+  int idx = static_cast<int>(kind);
+  assert(idx >= 0 && idx < kNumFeatureKinds);
+  return kNames[idx];
+}
+
+int FeatureDimension(FeatureKind kind) {
+  int idx = static_cast<int>(kind);
+  assert(idx >= 0 && idx < kNumFeatureKinds);
+  return kDims[idx];
+}
+
+std::vector<double> ExtractFeature(FeatureKind kind, const SyntheticVideo& video,
+                                   int t, const DetectionList& anchor_detections) {
+  switch (kind) {
+    case FeatureKind::kLight:
+      return ComputeLightFeatures(video.spec().width, video.spec().height,
+                                  anchor_detections);
+    case FeatureKind::kHoc:
+      return ComputeHoc(RenderFrame(video, t));
+    case FeatureKind::kHog:
+      return ComputeHog(RenderFrame(video, t));
+    case FeatureKind::kResNet50:
+      return ComputeResNetFeature(video, t);
+    case FeatureKind::kCpop:
+      return ComputeCpopFeature(video, t, anchor_detections);
+    case FeatureKind::kMobileNetV2:
+      return ComputeMobileNetFeature(video, t);
+    case FeatureKind::kCount:
+      break;
+  }
+  assert(false && "invalid feature kind");
+  return {};
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,42 @@
+// The feature registry: the light-weight feature plus the five heavy-weight
+// content features of paper Table 1, with one extraction entry point.
+#ifndef SRC_FEATURES_FEATURE_H_
+#define SRC_FEATURES_FEATURE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+enum class FeatureKind {
+  kLight = 0,
+  kHoc = 1,
+  kHog = 2,
+  kResNet50 = 3,
+  kCpop = 4,
+  kMobileNetV2 = 5,
+  kCount,
+};
+
+inline constexpr int kNumFeatureKinds = static_cast<int>(FeatureKind::kCount);
+
+// The heavy-weight candidates, in Table 1 order.
+inline constexpr FeatureKind kHeavyFeatures[] = {
+    FeatureKind::kHoc, FeatureKind::kHog, FeatureKind::kResNet50,
+    FeatureKind::kCpop, FeatureKind::kMobileNetV2};
+
+std::string_view FeatureName(FeatureKind kind);
+int FeatureDimension(FeatureKind kind);
+
+// Extracts the feature on frame t. `anchor_detections` is the detector output on
+// that frame: the light feature's object statistics and the CPoP class logits are
+// derived from it (in the real system both come from the running MBEK).
+std::vector<double> ExtractFeature(FeatureKind kind, const SyntheticVideo& video,
+                                   int t, const DetectionList& anchor_detections);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_FEATURE_H_

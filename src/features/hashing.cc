@@ -1,0 +1,27 @@
+#include "src/features/hashing.h"
+
+#include <cstddef>
+
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+std::vector<double> HashProject(const std::vector<double>& input, int out_dim,
+                                uint64_t seed) {
+  std::vector<double> out(static_cast<size_t>(out_dim), 0.0);
+  if (static_cast<int>(input.size()) <= out_dim) {
+    for (size_t i = 0; i < input.size(); ++i) {
+      out[i] = input[i];
+    }
+    return out;
+  }
+  for (size_t i = 0; i < input.size(); ++i) {
+    uint64_t h = HashKeys({seed, static_cast<uint64_t>(i)});
+    size_t bucket = static_cast<size_t>(h % static_cast<uint64_t>(out_dim));
+    double sign = (h >> 63) != 0 ? 1.0 : -1.0;
+    out[bucket] += sign * input[i];
+  }
+  return out;
+}
+
+}  // namespace litereconfig

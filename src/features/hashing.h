@@ -1,0 +1,26 @@
+// Feature-hashing projection (sparse sign hashing).
+//
+// The accuracy predictor nets take heavy features through a fixed seeded hashing
+// projection that caps the net input width at kHashedFeatureDim. This keeps the
+// from-scratch trainer tractable at the full 4320-d HOG / 1280-d MobileNetV2
+// widths while preserving inner products in expectation (the standard hashing
+// trick); it replaces nothing in the paper's architecture — the learned
+// projection layer still follows.
+#ifndef SRC_FEATURES_HASHING_H_
+#define SRC_FEATURES_HASHING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace litereconfig {
+
+inline constexpr int kHashedFeatureDim = 96;
+
+// out[h(i)] += sign(i) * x[i], deterministic in `seed`. If the input is already
+// no wider than out_dim it is returned zero-padded unchanged.
+std::vector<double> HashProject(const std::vector<double>& input, int out_dim,
+                                uint64_t seed);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_HASHING_H_

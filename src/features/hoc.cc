@@ -1,0 +1,18 @@
+#include "src/features/hoc.h"
+
+namespace litereconfig {
+
+std::vector<double> ComputeHoc(const Image& image) {
+  std::vector<double> hist(kHocDim, 0.0);
+  double norm = 1.0 / (static_cast<double>(image.width) * image.height);
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        hist[static_cast<size_t>(c * 256 + image.At(x, y, c))] += norm;
+      }
+    }
+  }
+  return hist;
+}
+
+}  // namespace litereconfig

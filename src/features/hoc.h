@@ -1,0 +1,18 @@
+// Histogram of Colors: 256 bins per RGB channel (768 dims, as in paper Table 1),
+// computed for real on the frame raster and normalized by pixel count.
+#ifndef SRC_FEATURES_HOC_H_
+#define SRC_FEATURES_HOC_H_
+
+#include <vector>
+
+#include "src/video/raster.h"
+
+namespace litereconfig {
+
+inline constexpr int kHocDim = 768;
+
+std::vector<double> ComputeHoc(const Image& image);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_HOC_H_

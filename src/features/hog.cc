@@ -1,0 +1,76 @@
+#include "src/features/hog.h"
+
+#include <cmath>
+
+namespace litereconfig {
+
+std::vector<double> ComputeHog(const Image& image) {
+  int cells_x = image.width / kHogCellSize;
+  int cells_y = image.height / kHogCellSize;
+  std::vector<double> cell_hist(static_cast<size_t>(cells_x * cells_y * kHogBins), 0.0);
+
+  // Per-pixel gradients with central differences (clamped borders), binned by
+  // unsigned orientation with linear interpolation between adjacent bins.
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      int xm = x > 0 ? x - 1 : x;
+      int xp = x < image.width - 1 ? x + 1 : x;
+      int ym = y > 0 ? y - 1 : y;
+      int yp = y < image.height - 1 ? y + 1 : y;
+      double gx = image.GrayAt(xp, y) - image.GrayAt(xm, y);
+      double gy = image.GrayAt(x, yp) - image.GrayAt(x, ym);
+      double mag = std::hypot(gx, gy);
+      if (mag <= 0.0) {
+        continue;
+      }
+      double angle = std::atan2(gy, gx);  // [-pi, pi]
+      if (angle < 0.0) {
+        angle += M_PI;  // unsigned orientation
+      }
+      double bin_pos = angle / M_PI * kHogBins;
+      int bin0 = static_cast<int>(bin_pos) % kHogBins;
+      int bin1 = (bin0 + 1) % kHogBins;
+      double frac = bin_pos - std::floor(bin_pos);
+      int cx = x / kHogCellSize;
+      int cy = y / kHogCellSize;
+      if (cx >= cells_x || cy >= cells_y) {
+        continue;
+      }
+      size_t base = static_cast<size_t>((cy * cells_x + cx) * kHogBins);
+      cell_hist[base + static_cast<size_t>(bin0)] += mag * (1.0 - frac);
+      cell_hist[base + static_cast<size_t>(bin1)] += mag * frac;
+    }
+  }
+
+  // 2x2-cell blocks with stride 1 and L2 normalization.
+  std::vector<double> descriptor;
+  descriptor.reserve(static_cast<size_t>(kHogDim));
+  for (int by = 0; by + 1 < cells_y; ++by) {
+    for (int bx = 0; bx + 1 < cells_x; ++bx) {
+      double norm_sq = 0.0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          size_t base =
+              static_cast<size_t>(((by + dy) * cells_x + (bx + dx)) * kHogBins);
+          for (int b = 0; b < kHogBins; ++b) {
+            double v = cell_hist[base + static_cast<size_t>(b)];
+            norm_sq += v * v;
+          }
+        }
+      }
+      double inv_norm = 1.0 / std::sqrt(norm_sq + 1e-6);
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          size_t base =
+              static_cast<size_t>(((by + dy) * cells_x + (bx + dx)) * kHogBins);
+          for (int b = 0; b < kHogBins; ++b) {
+            descriptor.push_back(cell_hist[base + static_cast<size_t>(b)] * inv_norm);
+          }
+        }
+      }
+    }
+  }
+  return descriptor;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,24 @@
+// Histogram of Oriented Gradients (Dalal & Triggs), computed for real on the
+// frame raster: 6x6-pixel cells, 9 unsigned orientation bins, 2x2-cell blocks
+// with stride one and L2 block normalization. On the 96x54 raster this yields
+// 15x8 blocks x 4 cells x 9 bins = 4320 dims (the paper's 5400 corresponds to
+// its larger input crop; the descriptor is otherwise identical).
+#ifndef SRC_FEATURES_HOG_H_
+#define SRC_FEATURES_HOG_H_
+
+#include <vector>
+
+#include "src/video/raster.h"
+
+namespace litereconfig {
+
+inline constexpr int kHogCellSize = 6;
+inline constexpr int kHogBins = 9;
+// (96/6 - 1) x (54/6 - 1) blocks x 4 cells x 9 bins.
+inline constexpr int kHogDim = 15 * 8 * 4 * kHogBins;
+
+std::vector<double> ComputeHog(const Image& image);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_HOG_H_

@@ -1,0 +1,32 @@
+#include "src/features/light.h"
+
+#include <cmath>
+
+namespace litereconfig {
+
+std::vector<double> ComputeLightFeatures(int frame_width, int frame_height,
+                                         const DetectionList& detections) {
+  double count = 0.0;
+  double size_sum = 0.0;
+  for (const Detection& det : detections) {
+    if (det.score < kLightScoreThreshold) {
+      continue;
+    }
+    count += 1.0;
+    size_sum += std::sqrt(det.box.Area());
+  }
+  double avg_size = count > 0.0 ? size_sum / count / frame_height : 0.0;
+  return {frame_height / 720.0, frame_width / 1280.0, count / 8.0, avg_size};
+}
+
+int CountConfident(const DetectionList& detections) {
+  int count = 0;
+  for (const Detection& det : detections) {
+    if (det.score >= kLightScoreThreshold) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,26 @@
+// Light-weight features f_L (paper Table 1): frame height, width, number of
+// objects, and averaged object size — all available to the scheduler for free.
+#ifndef SRC_FEATURES_LIGHT_H_
+#define SRC_FEATURES_LIGHT_H_
+
+#include <vector>
+
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+inline constexpr int kLightFeatureDim = 4;
+// Detections below this confidence do not count as tracked objects.
+inline constexpr double kLightScoreThreshold = kConfidentScoreThreshold;
+
+// [height/720, width/1280, count/8, mean(sqrt(box area))/height].
+std::vector<double> ComputeLightFeatures(int frame_width, int frame_height,
+                                         const DetectionList& detections);
+
+// Number of detections above the confidence threshold: the objects the system
+// actually tracks (and that the latency model charges tracking time for).
+int CountConfident(const DetectionList& detections);
+
+}  // namespace litereconfig
+
+#endif  // SRC_FEATURES_LIGHT_H_

@@ -1,0 +1,62 @@
+#include "src/mbek/branch.h"
+
+#include "src/util/strings.h"
+
+namespace litereconfig {
+
+std::string Branch::Id() const {
+  if (!has_tracker) {
+    return StrFormat("s%d_n%d_g%d_det", detector.shape, detector.nprop, gof);
+  }
+  return StrFormat("s%d_n%d_g%d_%s_ds%d", detector.shape, detector.nprop, gof,
+                   std::string(TrackerName(tracker.type)).c_str(),
+                   tracker.downsample);
+}
+
+BranchSpace::BranchSpace() {
+  constexpr int kGofSizes[] = {4, 8, 20, 50};
+  constexpr TrackerConfig kTrackerConfigs[] = {
+      {TrackerType::kMedianFlow, 4},
+      {TrackerType::kKcf, 2},
+      {TrackerType::kCsrt, 1},
+      {TrackerType::kOpticalFlow, 4},
+  };
+  for (int shape : kDetectorShapes) {
+    for (int nprop : kDetectorNprops) {
+      detector_configs_.push_back({shape, nprop});
+    }
+  }
+  for (const DetectorConfig& det : detector_configs_) {
+    Branch det_only;
+    det_only.detector = det;
+    det_only.gof = 1;
+    det_only.has_tracker = false;
+    branches_.push_back(det_only);
+    for (int gof : kGofSizes) {
+      for (const TrackerConfig& tracker : kTrackerConfigs) {
+        Branch branch;
+        branch.detector = det;
+        branch.gof = gof;
+        branch.has_tracker = true;
+        branch.tracker = tracker;
+        branches_.push_back(branch);
+      }
+    }
+  }
+}
+
+const BranchSpace& BranchSpace::Default() {
+  static const BranchSpace* space = new BranchSpace();
+  return *space;
+}
+
+std::optional<size_t> BranchSpace::Find(const Branch& branch) const {
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (branches_[i] == branch) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace litereconfig

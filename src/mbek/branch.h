@@ -1,0 +1,59 @@
+// Execution branches of the multi-branch execution kernel (MBEK).
+//
+// A branch fixes every tuning knob of the tracking-by-detection pipeline: the
+// detector's input shape and proposal count, the Group-of-Frames (GoF) size (the
+// detector runs on the first frame of each GoF, the tracker on the rest), the
+// tracker type, and the tracker's downsampling ratio (paper Section 2.4).
+#ifndef SRC_MBEK_BRANCH_H_
+#define SRC_MBEK_BRANCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/det/detector.h"
+#include "src/track/tracker.h"
+
+namespace litereconfig {
+
+struct Branch {
+  DetectorConfig detector;
+  // GoF size; 1 means the detector runs on every frame (no tracker).
+  int gof = 1;
+  bool has_tracker = false;
+  TrackerConfig tracker;
+
+  bool operator==(const Branch&) const = default;
+
+  // Stable human-readable identifier, e.g. "s448_n100_g8_kcf_ds2".
+  std::string Id() const;
+};
+
+// The curated branch space used throughout the reproduction: 12 detector
+// configurations x (detector-only + 4 GoF sizes x 4 tracker configurations).
+class BranchSpace {
+ public:
+  static const BranchSpace& Default();
+
+  const std::vector<Branch>& branches() const { return branches_; }
+  size_t size() const { return branches_.size(); }
+  const Branch& at(size_t index) const { return branches_[index]; }
+
+  // Index of an exact branch; nullopt if absent.
+  std::optional<size_t> Find(const Branch& branch) const;
+
+  // The distinct detector configurations, in heatmap order (paper Figure 5).
+  const std::vector<DetectorConfig>& detector_configs() const {
+    return detector_configs_;
+  }
+
+ private:
+  BranchSpace();
+
+  std::vector<Branch> branches_;
+  std::vector<DetectorConfig> detector_configs_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_MBEK_BRANCH_H_

@@ -1,0 +1,89 @@
+#include "src/mbek/kernel.h"
+
+#include <algorithm>
+
+#include "src/vision/metrics.h"
+
+namespace litereconfig {
+
+GofResult ExecutionKernel::RunGof(const SyntheticVideo& video, int start,
+                                  const Branch& branch, uint64_t run_salt,
+                                  const DetectorQuality& quality) {
+  GofResult result;
+  int remaining = video.frame_count() - start;
+  int length = std::min(branch.gof, remaining);
+  if (length <= 0) {
+    return result;
+  }
+  result.anchor_detections =
+      DetectorSim::Detect(video, start, branch.detector, quality, run_salt);
+  result.frames.reserve(static_cast<size_t>(length));
+  result.frames.push_back(result.anchor_detections);
+  if (length > 1 && branch.has_tracker) {
+    // Only confident detections are handed to the tracker — the same policy the
+    // latency accounting charges for.
+    DetectionList confident;
+    for (const Detection& det : result.anchor_detections) {
+      if (det.score >= kConfidentScoreThreshold) {
+        confident.push_back(det);
+      }
+    }
+    std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
+    for (int t = start + 1; t < start + length; ++t) {
+      result.frames.push_back(
+          TrackerSim::Step(video, t, branch.tracker, tracks, run_salt));
+    }
+  } else {
+    // A detector-only branch with gof > 1 would re-detect each frame; in the
+    // curated space detector-only branches have gof == 1, but handle it anyway.
+    for (int t = start + 1; t < start + length; ++t) {
+      result.frames.push_back(
+          DetectorSim::Detect(video, t, branch.detector, quality, run_salt));
+    }
+  }
+  return result;
+}
+
+std::vector<DetectionList> ExecutionKernel::TrackOnly(
+    const SyntheticVideo& video, int start, int length, const TrackerConfig& tracker,
+    const DetectionList& init_detections, uint64_t run_salt) {
+  std::vector<DetectionList> frames;
+  int end = std::min(video.frame_count(), start + length);
+  if (end <= start) {
+    return frames;
+  }
+  DetectionList confident;
+  for (const Detection& det : init_detections) {
+    if (det.score >= kConfidentScoreThreshold) {
+      confident.push_back(det);
+    }
+  }
+  std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
+  for (int t = start; t < end; ++t) {
+    frames.push_back(TrackerSim::Step(video, t, tracker, tracks, run_salt));
+  }
+  return frames;
+}
+
+double ExecutionKernel::SnippetAccuracy(const SyntheticVideo& video, int start,
+                                        int length, const Branch& branch,
+                                        uint64_t run_salt,
+                                        const DetectorQuality& quality) {
+  ApEvaluator eval;
+  int end = std::min(video.frame_count(), start + length);
+  int t = start;
+  while (t < end) {
+    GofResult gof = RunGof(video, t, branch, run_salt, quality);
+    if (gof.frames.empty()) {
+      break;
+    }
+    for (size_t i = 0; i < gof.frames.size() && t + static_cast<int>(i) < end; ++i) {
+      int frame_idx = t + static_cast<int>(i);
+      eval.AddFrame(video.frame(frame_idx).VisibleGroundTruth(), gof.frames[i]);
+    }
+    t += static_cast<int>(gof.frames.size());
+  }
+  return eval.MeanAveragePrecision();
+}
+
+}  // namespace litereconfig

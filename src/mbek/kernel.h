@@ -1,0 +1,52 @@
+// Execution of one branch over Groups-of-Frames, and snippet-level accuracy
+// evaluation (the training label generator for the content-aware accuracy model).
+#ifndef SRC_MBEK_KERNEL_H_
+#define SRC_MBEK_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mbek/branch.h"
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+struct GofResult {
+  // Per-frame outputs for frames [start, start + frames.size()).
+  std::vector<DetectionList> frames;
+  // The detector's output on the anchor (first) frame; the source of the
+  // ResNet50/CPoP features and of the light features' object statistics.
+  DetectionList anchor_detections;
+};
+
+class ExecutionKernel {
+ public:
+  // Runs `branch` starting at frame `start`, for min(branch.gof, frames left)
+  // frames. The detector runs on the anchor; the tracker (if any) on the rest.
+  // `quality` selects the detector family (default: the MBEK's Faster R-CNN).
+  static GofResult RunGof(const SyntheticVideo& video, int start, const Branch& branch,
+                          uint64_t run_salt = 0,
+                          const DetectorQuality& quality = {});
+
+  // Mean average precision of running the branch in steady state over the
+  // snippet [start, start + length): consecutive GoFs, evaluated against the
+  // visible ground truth. This is the per-(snippet, branch) accuracy label.
+  static double SnippetAccuracy(const SyntheticVideo& video, int start, int length,
+                                const Branch& branch, uint64_t run_salt = 0,
+                                const DetectorQuality& quality = {});
+
+  // Tail continuation: extends tracking over frames [start, start + length)
+  // from the given detections (typically the previous GoF's last outputs)
+  // WITHOUT running the detector. Used when too few frames remain in the
+  // stream to amortize another detector invocation.
+  static std::vector<DetectionList> TrackOnly(const SyntheticVideo& video, int start,
+                                              int length,
+                                              const TrackerConfig& tracker,
+                                              const DetectionList& init_detections,
+                                              uint64_t run_salt = 0);
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_MBEK_KERNEL_H_

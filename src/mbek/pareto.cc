@@ -1,0 +1,28 @@
+#include "src/mbek/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace litereconfig {
+
+std::vector<size_t> ParetoFrontier(const std::vector<OperatingPoint>& points) {
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a].latency_ms != points[b].latency_ms) {
+      return points[a].latency_ms < points[b].latency_ms;
+    }
+    return points[a].accuracy > points[b].accuracy;
+  });
+  std::vector<size_t> frontier;
+  double best_accuracy = -1.0;
+  for (size_t idx : order) {
+    if (points[idx].accuracy > best_accuracy) {
+      frontier.push_back(idx);
+      best_accuracy = points[idx].accuracy;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace litereconfig

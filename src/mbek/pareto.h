@@ -1,0 +1,22 @@
+// Pareto frontier extraction over (latency, accuracy) operating points
+// (paper Section 2.4: the scheduler strives to stay on this frontier).
+#ifndef SRC_MBEK_PARETO_H_
+#define SRC_MBEK_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace litereconfig {
+
+struct OperatingPoint {
+  double latency_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+// Indices of the points on the Pareto frontier (no other point has both lower
+// latency and higher-or-equal accuracy), sorted by increasing latency.
+std::vector<size_t> ParetoFrontier(const std::vector<OperatingPoint>& points);
+
+}  // namespace litereconfig
+
+#endif  // SRC_MBEK_PARETO_H_

@@ -1,0 +1,93 @@
+#include "src/nn/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows());
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) {
+        continue;
+      }
+      const double* brow = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::XavierUniform(size_t rows, size_t cols, uint64_t seed) {
+  Matrix out(rows, cols);
+  Pcg32 rng(seed);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : out.data()) {
+    v = rng.Uniform(-limit, limit);
+  }
+  return out;
+}
+
+std::vector<double> CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                                  double ridge) {
+  size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("CholeskySolve: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) {
+      sum -= l(i, k) * y[k];
+    }
+    y[i] = sum / l(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) {
+      sum -= l(k, i) * x[k];
+    }
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,49 @@
+// Minimal dense row-major matrix for the predictor models. Sized for the paper's
+// workloads (feature dims up to ~5400, hidden width 256), not for general BLAS use.
+#ifndef SRC_NN_MATRIX_H_
+#define SRC_NN_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace litereconfig {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  // out = this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Transposed() const;
+
+  // Xavier/Glorot uniform initialization, deterministic in the seed.
+  static Matrix XavierUniform(size_t rows, size_t cols, uint64_t seed);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves (A + ridge*I) x = b for symmetric positive definite A via Cholesky.
+// A is n x n, b is n. Returns the solution; requires A to be SPD after ridging.
+std::vector<double> CholeskySolve(const Matrix& a, const std::vector<double>& b,
+                                  double ridge);
+
+}  // namespace litereconfig
+
+#endif  // SRC_NN_MATRIX_H_

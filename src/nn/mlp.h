@@ -1,0 +1,62 @@
+// Fully-connected network with ReLU hidden activations, trained with minibatch
+// SGD + momentum, MSE loss, and L2 regularization — exactly the recipe the paper
+// uses for its content-aware accuracy prediction model (Section 4).
+#ifndef SRC_NN_MLP_H_
+#define SRC_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace litereconfig {
+
+struct MlpConfig {
+  // Layer widths including input and output, e.g. {260, 256, 256, 204}.
+  std::vector<size_t> layer_dims;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  size_t batch_size = 64;
+  size_t epochs = 60;
+  uint64_t seed = 1;
+  // Stop early once the epoch's mean training loss improves by less than this
+  // relative amount (0 disables early stopping).
+  double early_stop_rel_tol = 1e-4;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(const MlpConfig& config);
+
+  // X: n x input_dim, Y: n x output_dim. Returns the final epoch's mean MSE.
+  double Train(const Matrix& x, const Matrix& y);
+
+  std::vector<double> Predict(const std::vector<double>& input) const;
+
+  // Approximate multiply-accumulate count of one forward pass (used by the
+  // platform cost model to charge prediction latency consistently).
+  size_t ForwardMacs() const;
+
+  const MlpConfig& config() const { return config_; }
+
+  // Parameter access for serialization; SetParameters validates shapes.
+  const std::vector<Matrix>& weights() const { return weights_; }
+  const std::vector<std::vector<double>>& biases() const { return biases_; }
+  void SetParameters(std::vector<Matrix> weights,
+                     std::vector<std::vector<double>> biases);
+
+ private:
+  void Forward(const double* input, std::vector<std::vector<double>>& activations) const;
+
+  MlpConfig config_;
+  // weights_[l] has shape (dims[l+1] x dims[l]); biases_[l] has dims[l+1].
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<double>> biases_;
+  std::vector<Matrix> weight_velocity_;
+  std::vector<std::vector<double>> bias_velocity_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_NN_MLP_H_

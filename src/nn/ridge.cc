@@ -1,0 +1,69 @@
+#include "src/nn/ridge.h"
+
+#include <cassert>
+
+namespace litereconfig {
+
+RidgeRegression RidgeRegression::Fit(const Matrix& x, const std::vector<double>& y,
+                                     double ridge) {
+  size_t n = x.rows();
+  size_t d = x.cols();
+  assert(y.size() == n && n >= 1);
+  // Center features and targets so the bias absorbs the means and stays
+  // unpenalized.
+  std::vector<double> x_mean(d, 0.0);
+  double y_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      x_mean[j] += x(i, j);
+    }
+    y_mean += y[i];
+  }
+  for (double& m : x_mean) {
+    m /= static_cast<double>(n);
+  }
+  y_mean /= static_cast<double>(n);
+
+  // Normal equations on centered data: (Xc^T Xc + ridge I) w = Xc^T yc.
+  Matrix xtx(d, d);
+  std::vector<double> xty(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double xj = x(i, j) - x_mean[j];
+      xty[j] += xj * (y[i] - y_mean);
+      for (size_t k = j; k < d; ++k) {
+        xtx(j, k) += xj * (x(i, k) - x_mean[k]);
+      }
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t k = 0; k < j; ++k) {
+      xtx(j, k) = xtx(k, j);
+    }
+  }
+  RidgeRegression model;
+  model.weights_ = CholeskySolve(xtx, xty, ridge + 1e-9);
+  model.bias_ = y_mean;
+  for (size_t j = 0; j < d; ++j) {
+    model.bias_ -= model.weights_[j] * x_mean[j];
+  }
+  return model;
+}
+
+RidgeRegression RidgeRegression::FromParts(std::vector<double> weights, double bias) {
+  RidgeRegression model;
+  model.weights_ = std::move(weights);
+  model.bias_ = bias;
+  return model;
+}
+
+double RidgeRegression::Predict(const std::vector<double>& x) const {
+  assert(x.size() == weights_.size());
+  double out = bias_;
+  for (size_t j = 0; j < x.size(); ++j) {
+    out += weights_[j] * x[j];
+  }
+  return out;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,34 @@
+// Closed-form ridge regression — the paper's per-branch latency prediction model
+// is a linear regression on the light-weight features (Section 3.2).
+#ifndef SRC_NN_RIDGE_H_
+#define SRC_NN_RIDGE_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace litereconfig {
+
+class RidgeRegression {
+ public:
+  // Fits y ~ w . x + b with L2 penalty `ridge` (bias unpenalized via centering).
+  // X: n x d; y: n. n must be >= 1.
+  static RidgeRegression Fit(const Matrix& x, const std::vector<double>& y,
+                             double ridge = 1e-6);
+
+  double Predict(const std::vector<double>& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  // Reconstructs a fitted model from its parameters (deserialization).
+  static RidgeRegression FromParts(std::vector<double> weights, double bias);
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_NN_RIDGE_H_

@@ -1,0 +1,184 @@
+#include "src/pipeline/litereconfig_protocol.h"
+
+#include <cassert>
+
+#include "src/features/light.h"
+#include "src/mbek/kernel.h"
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr double kCalibrationEwma = 0.3;
+// When no branch fits the tail of a stream (too few frames left to amortize
+// another detector pass), ride it out on the tracker instead.
+constexpr int kTailFrames = 12;
+
+}  // namespace
+
+LiteReconfigProtocol::LiteReconfigProtocol(const TrainedModels* models,
+                                           SchedulerConfig config, std::string name)
+    : models_(models), scheduler_(models, config), name_(std::move(name)) {
+  assert(models_ != nullptr);
+}
+
+SchedulerConfig LiteReconfigProtocol::FullConfig() { return SchedulerConfig{}; }
+
+SchedulerConfig LiteReconfigProtocol::MinCostConfig() {
+  SchedulerConfig config;
+  config.mode = LiteReconfigMode::kMinCost;
+  return config;
+}
+
+SchedulerConfig LiteReconfigProtocol::MaxContentConfig(FeatureKind feature) {
+  SchedulerConfig config;
+  config.mode = feature == FeatureKind::kMobileNetV2
+                    ? LiteReconfigMode::kMaxContentMobileNet
+                    : LiteReconfigMode::kMaxContentResNet;
+  return config;
+}
+
+SchedulerConfig LiteReconfigProtocol::ForcedFeatureConfig(FeatureKind feature) {
+  SchedulerConfig config;
+  config.mode = LiteReconfigMode::kForceFeature;
+  config.forced_feature = feature;
+  config.charge_feature_overhead = false;
+  return config;
+}
+
+VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
+                                             const RunEnv& env) {
+  const BranchSpace& space = *models_->space;
+  VideoRunStats stats;
+  Pcg32 rng(HashKeys({video.spec().seed, env.run_salt, 0x117e2ull}));
+  DetectionList anchor;
+  std::optional<size_t> current;
+  double& gpu_cal = gpu_cal_;
+  bool charge_overhead = scheduler_.config().charge_feature_overhead;
+  {
+    // Preheat pass (paper footnote 6: "all branches and models are loaded and
+    // preheated with several video frames in the beginning"): one cheap
+    // detector invocation on the first frame, not charged to latency. It
+    // (a) measures the current GPU contention and (b) seeds the object
+    // statistics the light features and tracker-cost predictions start from.
+    DetectorConfig probe{320, 10};
+    anchor = DetectorSim::Detect(video, 0, probe, DetectorQuality{},
+                                 HashKeys({env.run_salt, 0x94e47ull}));
+    double observed = env.platform->Sample(env.platform->DetectorMs(probe), rng);
+    LatencyModel profiled(models_->device, 0.0);
+    double ratio = observed / profiled.DetectorMs(probe);
+    if (scheduler_.config().use_contention_calibration) {
+      gpu_cal = calibrated_ ? 0.5 * gpu_cal + 0.5 * ratio : ratio;
+    }
+    calibrated_ = true;
+  }
+  int t = 0;
+  while (t < video.frame_count()) {
+    DecisionContext ctx;
+    ctx.video = &video;
+    ctx.frame = t;
+    ctx.anchor_detections = &anchor;
+    ctx.current_branch = current;
+    ctx.slo_ms = env.slo_ms;
+    ctx.frames_remaining = video.frame_count() - t;
+    ctx.gpu_cal = gpu_cal;
+    SchedulerDecision decision = scheduler_.Decide(ctx);
+    if (decision.infeasible && current.has_value() &&
+        video.frame_count() - t <= kTailFrames && !stats.frames.empty()) {
+      // Tail continuation: no detector pass fits the remaining frames; keep
+      // tracking from the last emitted outputs.
+      const Branch& cur_branch = space.at(*current);
+      TrackerConfig tail_tracker = cur_branch.has_tracker
+                                       ? cur_branch.tracker
+                                       : TrackerConfig{TrackerType::kMedianFlow, 4};
+      const DetectionList& last_frame = stats.frames.back();
+      std::vector<DetectionList> tail = ExecutionKernel::TrackOnly(
+          video, t, video.frame_count() - t, tail_tracker, last_frame, env.run_salt);
+      if (tail.empty()) {
+        break;
+      }
+      int tracked = CountConfident(last_frame);
+      double track_total = 0.0;
+      for (size_t i = 0; i < tail.size(); ++i) {
+        track_total += env.platform->Sample(
+            env.platform->TrackerMs(tail_tracker, tracked), rng);
+      }
+      stats.tracker_ms += track_total;
+      stats.gof_frame_ms.push_back(track_total / static_cast<double>(tail.size()));
+      stats.gof_lengths.push_back(static_cast<int>(tail.size()));
+      t += static_cast<int>(tail.size());
+      for (DetectionList& frame : tail) {
+        stats.frames.push_back(std::move(frame));
+      }
+      continue;
+    }
+    const Branch& branch = space.at(decision.branch_index);
+
+    double switch_sample = 0.0;
+    if (current.has_value() && *current != decision.branch_index) {
+      switch_sample = env.switching->OnlineCostMs(space.at(*current), branch,
+                                                  stats.switch_count, rng);
+      ++stats.switch_count;
+    }
+    GofResult gof = ExecutionKernel::RunGof(video, t, branch, env.run_salt);
+    if (gof.frames.empty()) {
+      break;
+    }
+    double det_sample = env.platform->Sample(env.platform->DetectorMs(branch.detector), rng);
+    // Online contention calibration against the zero-contention profile.
+    double profiled = models_->latency.DetectorMs(decision.branch_index);
+    if (profiled > 0.0 && scheduler_.config().use_contention_calibration) {
+      gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
+                kCalibrationEwma * (det_sample / profiled);
+    }
+    double track_total = 0.0;
+    if (branch.has_tracker) {
+      int tracked = CountConfident(gof.anchor_detections);
+      for (size_t i = 1; i < gof.frames.size(); ++i) {
+        track_total += env.platform->Sample(
+            env.platform->TrackerMs(branch.tracker, tracked), rng);
+      }
+    }
+    double len = static_cast<double>(gof.frames.size());
+    stats.detector_ms += det_sample;
+    stats.tracker_ms += track_total;
+    stats.scheduler_ms += decision.scheduler_cost_ms;
+    stats.switch_ms += switch_sample;
+    double gof_total = det_sample + track_total + switch_sample;
+    if (charge_overhead) {
+      gof_total += decision.scheduler_cost_ms;
+    }
+    stats.gof_frame_ms.push_back(gof_total / len);
+    stats.gof_lengths.push_back(static_cast<int>(len));
+    stats.branches_used.insert(branch.Id());
+    if (trace_ != nullptr) {
+      DecisionRecord record;
+      record.video_seed = video.spec().seed;
+      record.frame = t;
+      record.branch_id = branch.Id();
+      for (FeatureKind kind : decision.heavy_features) {
+        record.features.emplace_back(FeatureName(kind));
+      }
+      record.predicted_accuracy = decision.predicted_accuracy;
+      record.predicted_frame_ms = decision.predicted_frame_ms;
+      record.scheduler_cost_ms = decision.scheduler_cost_ms;
+      record.switch_cost_ms = switch_sample;
+      record.actual_frame_ms = gof_total / len;
+      record.gof_length = static_cast<int>(len);
+      record.switched = switch_sample > 0.0;
+      record.infeasible = decision.infeasible;
+      record.gpu_cal = gpu_cal;
+      trace_->Write(record);
+    }
+    anchor = gof.anchor_detections;
+    for (DetectionList& frame : gof.frames) {
+      stats.frames.push_back(std::move(frame));
+    }
+    t += static_cast<int>(len);
+    current = decision.branch_index;
+  }
+  return stats;
+}
+
+}  // namespace litereconfig

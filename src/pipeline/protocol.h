@@ -1,0 +1,77 @@
+// The runtime protocol abstraction.
+//
+// A protocol is a complete video-object-detection system under evaluation:
+// LiteReconfig and its variants, ApproxDet, the knob-enhanced SSD+/YOLO+
+// baselines, and the fixed accuracy-optimized models. The online runner hands a
+// protocol one video at a time together with the platform environment; the
+// protocol executes its own scheduling loop and reports per-frame detections and
+// the per-GoF latency/attribution samples the evaluation aggregates.
+//
+// Header-only so that both the baselines library and the pipeline library can
+// implement protocols without a dependency cycle.
+#ifndef SRC_PIPELINE_PROTOCOL_H_
+#define SRC_PIPELINE_PROTOCOL_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/platform/latency.h"
+#include "src/platform/switching.h"
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+struct RunEnv {
+  // Ground-truth platform: the simulated device under the current contention.
+  const LatencyModel* platform = nullptr;
+  const SwitchingCostModel* switching = nullptr;
+  double slo_ms = 33.3;
+  // Distinguishes independent online runs (execution noise, switch outliers).
+  uint64_t run_salt = 0;
+};
+
+// What one protocol did on one video.
+struct VideoRunStats {
+  // Per-frame detection outputs (size == video.frame_count()).
+  std::vector<DetectionList> frames;
+  // One sample per GoF: the GoF's per-frame-amortized latency (the paper's time
+  // metric; P95 is computed over these samples), plus each GoF's frame count.
+  std::vector<double> gof_frame_ms;
+  std::vector<int> gof_lengths;
+  // Latency attribution totals over the video (ms).
+  double detector_ms = 0.0;
+  double tracker_ms = 0.0;
+  double scheduler_ms = 0.0;
+  double switch_ms = 0.0;
+  // Distinct execution branches invoked (paper Figure 4's branch coverage).
+  std::set<std::string> branches_used;
+  int switch_count = 0;
+  // The protocol could not run at all (e.g. out of memory on this device).
+  bool oom = false;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Peak memory footprint; protocols whose footprint exceeds the device memory
+  // fail with oom (paper Table 3).
+  virtual double MemoryGb() const = 0;
+
+  virtual VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) = 0;
+
+  // Clears any cross-video runtime state (e.g. the contention calibration).
+  // The runner calls this once at the start of each evaluation run; state then
+  // persists across the videos of that run, as it would on a live stream.
+  virtual void Reset() {}
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_PIPELINE_PROTOCOL_H_

@@ -1,0 +1,74 @@
+#include "src/pipeline/runner.h"
+
+#include "src/util/stats.h"
+#include "src/vision/metrics.h"
+
+namespace litereconfig {
+
+bool EvalResult::MeetsSlo(double slo, double slack) const {
+  return !oom && p95_ms <= slo * slack;
+}
+
+EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
+                             const EvalConfig& config) {
+  LatencyModel platform(config.device, config.gpu_contention);
+  SwitchingCostModel switching(config.device);
+  RunEnv env;
+  env.platform = &platform;
+  env.switching = &switching;
+  env.slo_ms = config.slo_ms;
+  env.run_salt = config.run_salt;
+
+  protocol.Reset();
+  EvalResult result;
+  ApEvaluator evaluator;
+  std::set<std::string> branches;
+  double detector_ms = 0.0;
+  double tracker_ms = 0.0;
+  double scheduler_ms = 0.0;
+  double switch_ms = 0.0;
+  for (const SyntheticVideo& video : validation.videos) {
+    VideoRunStats stats = protocol.RunVideo(video, env);
+    if (stats.oom) {
+      result.oom = true;
+      return result;
+    }
+    for (size_t t = 0; t < stats.frames.size(); ++t) {
+      evaluator.AddFrame(video.frame(static_cast<int>(t)).VisibleGroundTruth(),
+                         stats.frames[t]);
+    }
+    result.frames += stats.frames.size();
+    result.gof_frame_ms.insert(result.gof_frame_ms.end(), stats.gof_frame_ms.begin(),
+                               stats.gof_frame_ms.end());
+    branches.insert(stats.branches_used.begin(), stats.branches_used.end());
+    result.switch_count += stats.switch_count;
+    detector_ms += stats.detector_ms;
+    tracker_ms += stats.tracker_ms;
+    scheduler_ms += stats.scheduler_ms;
+    switch_ms += stats.switch_ms;
+  }
+  result.map = evaluator.MeanAveragePrecision();
+  result.mean_ms = Mean(result.gof_frame_ms);
+  result.p95_ms = Percentile(result.gof_frame_ms, 0.95);
+  size_t violations = 0;
+  for (double v : result.gof_frame_ms) {
+    if (v > config.slo_ms) {
+      ++violations;
+    }
+  }
+  result.violation_rate =
+      result.gof_frame_ms.empty()
+          ? 0.0
+          : static_cast<double>(violations) / result.gof_frame_ms.size();
+  double total = detector_ms + tracker_ms + scheduler_ms + switch_ms;
+  if (total > 0.0) {
+    result.detector_frac = detector_ms / total;
+    result.tracker_frac = tracker_ms / total;
+    result.scheduler_frac = scheduler_ms / total;
+    result.switch_frac = switch_ms / total;
+  }
+  result.branch_coverage = static_cast<int>(branches.size());
+  return result;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,56 @@
+// The online evaluation harness: runs a protocol over a validation dataset under
+// a (device, contention, SLO) configuration and aggregates the paper's metrics —
+// dataset mAP, mean and P95 per-frame latency (over GoF-amortized samples), SLO
+// violation rate, component latency breakdown, branch coverage, and switches.
+#ifndef SRC_PIPELINE_RUNNER_H_
+#define SRC_PIPELINE_RUNNER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/protocol.h"
+#include "src/video/dataset.h"
+
+namespace litereconfig {
+
+struct EvalConfig {
+  DeviceType device = DeviceType::kTx2;
+  double gpu_contention = 0.0;
+  double slo_ms = 33.3;
+  uint64_t run_salt = 1;
+};
+
+struct EvalResult {
+  double map = 0.0;
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  // Fraction of GoF samples whose per-frame latency exceeded the SLO.
+  double violation_rate = 0.0;
+  // Latency attribution as fractions of total charged time.
+  double detector_frac = 0.0;
+  double tracker_frac = 0.0;
+  double scheduler_frac = 0.0;
+  double switch_frac = 0.0;
+  // Distinct branches used across the whole run (paper Figure 4).
+  int branch_coverage = 0;
+  int switch_count = 0;
+  size_t frames = 0;
+  bool oom = false;
+  // The raw per-GoF amortized samples (Figure 5 needs their distribution).
+  std::vector<double> gof_frame_ms;
+
+  // The paper's pass/fail notion: "F" when the protocol misses the SLO (P95
+  // above the objective beyond measurement slack) or cannot run at all.
+  bool MeetsSlo(double slo_ms, double slack = 1.10) const;
+};
+
+class OnlineRunner {
+ public:
+  static EvalResult Run(Protocol& protocol, const Dataset& validation,
+                        const EvalConfig& config);
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_PIPELINE_RUNNER_H_

@@ -1,0 +1,217 @@
+#include "src/pipeline/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4c52434d30303034ull;  // "LRCM0004"
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteDouble(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteDoubles(std::ostream& os, const std::vector<double>& v) {
+  WriteU64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool ReadU64(std::istream& is, uint64_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return is.good();
+}
+
+bool ReadDouble(std::istream& is, double& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return is.good();
+}
+
+bool ReadDoubles(std::istream& is, std::vector<double>& v) {
+  uint64_t n = 0;
+  if (!ReadU64(is, n) || n > (1ull << 28)) {
+    return false;
+  }
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  return is.good();
+}
+
+}  // namespace
+
+bool SaveTrainedModels(const TrainedModels& models, uint64_t fingerprint,
+                       const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return false;
+  }
+  WriteU64(os, kMagic);
+  WriteU64(os, fingerprint);
+  WriteU64(os, static_cast<uint64_t>(models.device));
+
+  // Latency predictor.
+  WriteDoubles(os, models.latency.detector_ms());
+  WriteU64(os, models.latency.tracker_models().size());
+  for (const RidgeRegression& model : models.latency.tracker_models()) {
+    WriteDoubles(os, model.weights());
+    WriteDouble(os, model.bias());
+  }
+
+  // Accuracy predictors.
+  WriteU64(os, models.accuracy.size());
+  for (const auto& [kind, predictor] : models.accuracy) {
+    WriteU64(os, static_cast<uint64_t>(kind));
+    const MlpConfig& config = predictor.mlp().config();
+    WriteU64(os, config.layer_dims.size());
+    for (size_t dim : config.layer_dims) {
+      WriteU64(os, dim);
+    }
+    for (size_t l = 0; l + 1 < config.layer_dims.size(); ++l) {
+      WriteDoubles(os, predictor.mlp().weights()[l].data());
+      WriteDoubles(os, predictor.mlp().biases()[l]);
+    }
+  }
+
+  WriteDoubles(os, models.mean_branch_accuracy);
+
+  // Ben table.
+  WriteU64(os, models.ben.entries().size());
+  for (const auto& [key, value] : models.ben.entries()) {
+    WriteU64(os, static_cast<uint64_t>(key.first));
+    WriteU64(os, static_cast<uint64_t>(key.second));
+    WriteDouble(os, value);
+  }
+
+  for (double v : models.feature_extract_ms) {
+    WriteDouble(os, v);
+  }
+  for (double v : models.feature_predict_ms) {
+    WriteDouble(os, v);
+  }
+  return os.good();
+}
+
+std::optional<TrainedModels> LoadTrainedModels(const std::string& path,
+                                               uint64_t fingerprint,
+                                               const BranchSpace& space) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return std::nullopt;
+  }
+  uint64_t magic = 0;
+  uint64_t stored_fingerprint = 0;
+  uint64_t device = 0;
+  if (!ReadU64(is, magic) || magic != kMagic ||
+      !ReadU64(is, stored_fingerprint) || stored_fingerprint != fingerprint ||
+      !ReadU64(is, device)) {
+    return std::nullopt;
+  }
+  TrainedModels models;
+  models.space = &space;
+  models.device = static_cast<DeviceType>(device);
+  models.switching.emplace(models.device);
+
+  std::vector<double> detector_ms;
+  if (!ReadDoubles(is, detector_ms) || detector_ms.size() != space.size()) {
+    return std::nullopt;
+  }
+  uint64_t num_trackers = 0;
+  if (!ReadU64(is, num_trackers) || num_trackers != space.size()) {
+    return std::nullopt;
+  }
+  std::vector<RidgeRegression> trackers;
+  for (uint64_t i = 0; i < num_trackers; ++i) {
+    std::vector<double> weights;
+    double bias = 0.0;
+    if (!ReadDoubles(is, weights) || !ReadDouble(is, bias)) {
+      return std::nullopt;
+    }
+    trackers.push_back(RidgeRegression::FromParts(std::move(weights), bias));
+  }
+  models.latency.Restore(space, std::move(detector_ms), std::move(trackers));
+
+  uint64_t num_predictors = 0;
+  if (!ReadU64(is, num_predictors) || num_predictors > kNumFeatureKinds) {
+    return std::nullopt;
+  }
+  for (uint64_t p = 0; p < num_predictors; ++p) {
+    uint64_t kind_raw = 0;
+    uint64_t num_dims = 0;
+    if (!ReadU64(is, kind_raw) || kind_raw >= kNumFeatureKinds ||
+        !ReadU64(is, num_dims) || num_dims < 2 || num_dims > 16) {
+      return std::nullopt;
+    }
+    FeatureKind kind = static_cast<FeatureKind>(kind_raw);
+    MlpConfig config;
+    for (uint64_t d = 0; d < num_dims; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(is, dim)) {
+        return std::nullopt;
+      }
+      config.layer_dims.push_back(dim);
+    }
+    AccuracyPredictor predictor(kind, config);
+    std::vector<Matrix> weights;
+    std::vector<std::vector<double>> biases;
+    for (size_t l = 0; l + 1 < config.layer_dims.size(); ++l) {
+      std::vector<double> wdata;
+      std::vector<double> bdata;
+      if (!ReadDoubles(is, wdata) || !ReadDoubles(is, bdata)) {
+        return std::nullopt;
+      }
+      Matrix w(config.layer_dims[l + 1], config.layer_dims[l]);
+      if (wdata.size() != w.data().size() || bdata.size() != config.layer_dims[l + 1]) {
+        return std::nullopt;
+      }
+      w.data() = std::move(wdata);
+      weights.push_back(std::move(w));
+      biases.push_back(std::move(bdata));
+    }
+    predictor.mutable_mlp().SetParameters(std::move(weights), std::move(biases));
+    models.accuracy.emplace(kind, std::move(predictor));
+  }
+
+  if (!ReadDoubles(is, models.mean_branch_accuracy) ||
+      models.mean_branch_accuracy.size() != space.size()) {
+    return std::nullopt;
+  }
+
+  uint64_t num_ben = 0;
+  if (!ReadU64(is, num_ben) || num_ben > 1024) {
+    return std::nullopt;
+  }
+  std::map<std::pair<int, int>, double> ben_entries;
+  for (uint64_t i = 0; i < num_ben; ++i) {
+    uint64_t kind = 0;
+    uint64_t bucket = 0;
+    double value = 0.0;
+    if (!ReadU64(is, kind) || !ReadU64(is, bucket) || !ReadDouble(is, value)) {
+      return std::nullopt;
+    }
+    ben_entries[{static_cast<int>(kind), static_cast<int>(bucket)}] = value;
+  }
+  models.ben.Restore(std::move(ben_entries));
+
+  for (double& v : models.feature_extract_ms) {
+    if (!ReadDouble(is, v)) {
+      return std::nullopt;
+    }
+  }
+  for (double& v : models.feature_predict_ms) {
+    if (!ReadDouble(is, v)) {
+      return std::nullopt;
+    }
+  }
+  return models;
+}
+
+}  // namespace litereconfig

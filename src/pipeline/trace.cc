@@ -1,0 +1,128 @@
+#include "src/pipeline/trace.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace litereconfig {
+
+namespace {
+
+// Extracts the raw token after `"key":` in our own single-line JSON output.
+// Not a general JSON parser; sufficient for round-tripping TraceWriter lines.
+std::optional<std::string> FindValue(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  pos += needle.size();
+  if (pos >= line.size()) {
+    return std::nullopt;
+  }
+  if (line[pos] == '"') {
+    size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) {
+      return std::nullopt;
+    }
+    return line.substr(pos + 1, end - pos - 1);
+  }
+  if (line[pos] == '[') {
+    size_t end = line.find(']', pos);
+    if (end == std::string::npos) {
+      return std::nullopt;
+    }
+    return line.substr(pos + 1, end - pos - 1);
+  }
+  size_t end = line.find_first_of(",}", pos);
+  if (end == std::string::npos) {
+    return std::nullopt;
+  }
+  return line.substr(pos, end - pos);
+}
+
+}  // namespace
+
+void TraceWriter::Write(const DecisionRecord& record) {
+  std::vector<std::string> quoted;
+  quoted.reserve(record.features.size());
+  for (const std::string& feature : record.features) {
+    quoted.push_back("\"" + feature + "\"");
+  }
+  os_ << "{\"video\":" << record.video_seed << ",\"frame\":" << record.frame
+      << ",\"branch\":\"" << record.branch_id << "\""
+      << ",\"features\":[" << Join(quoted, ",") << "]"
+      << ",\"pred_acc\":" << FmtDouble(record.predicted_accuracy, 4)
+      << ",\"pred_ms\":" << FmtDouble(record.predicted_frame_ms, 3)
+      << ",\"sched_ms\":" << FmtDouble(record.scheduler_cost_ms, 3)
+      << ",\"switch_ms\":" << FmtDouble(record.switch_cost_ms, 3)
+      << ",\"actual_ms\":" << FmtDouble(record.actual_frame_ms, 3)
+      << ",\"gof\":" << record.gof_length
+      << ",\"switched\":" << (record.switched ? "true" : "false")
+      << ",\"infeasible\":" << (record.infeasible ? "true" : "false")
+      << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4) << "}\n";
+  ++count_;
+}
+
+std::optional<DecisionRecord> TraceReader::ParseLine(const std::string& line) {
+  DecisionRecord record;
+  auto video = FindValue(line, "video");
+  auto frame = FindValue(line, "frame");
+  auto branch = FindValue(line, "branch");
+  auto actual = FindValue(line, "actual_ms");
+  if (!video || !frame || !branch || !actual) {
+    return std::nullopt;
+  }
+  record.video_seed = std::strtoull(video->c_str(), nullptr, 10);
+  record.frame = static_cast<int>(std::strtol(frame->c_str(), nullptr, 10));
+  record.branch_id = *branch;
+  record.actual_frame_ms = std::strtod(actual->c_str(), nullptr);
+  if (auto v = FindValue(line, "pred_acc")) {
+    record.predicted_accuracy = std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = FindValue(line, "pred_ms")) {
+    record.predicted_frame_ms = std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = FindValue(line, "sched_ms")) {
+    record.scheduler_cost_ms = std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = FindValue(line, "switch_ms")) {
+    record.switch_cost_ms = std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = FindValue(line, "gof")) {
+    record.gof_length = static_cast<int>(std::strtol(v->c_str(), nullptr, 10));
+  }
+  if (auto v = FindValue(line, "switched")) {
+    record.switched = *v == "true";
+  }
+  if (auto v = FindValue(line, "infeasible")) {
+    record.infeasible = *v == "true";
+  }
+  if (auto v = FindValue(line, "gpu_cal")) {
+    record.gpu_cal = std::strtod(v->c_str(), nullptr);
+  }
+  if (auto v = FindValue(line, "features")) {
+    std::stringstream ss(*v);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+        record.features.push_back(token.substr(1, token.size() - 2));
+      }
+    }
+  }
+  return record;
+}
+
+std::vector<DecisionRecord> TraceReader::ReadAll(std::istream& is) {
+  std::vector<DecisionRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto record = ParseLine(line)) {
+      records.push_back(std::move(*record));
+    }
+  }
+  return records;
+}
+
+}  // namespace litereconfig

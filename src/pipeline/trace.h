@@ -1,0 +1,58 @@
+// Decision tracing: a JSON-lines record of every scheduling decision the
+// runtime makes (branch, features, predictions, realized latency). Attach a
+// TraceWriter to a LiteReconfigProtocol to capture a run; the trace_summary
+// tool and the TraceReader turn traces back into structured records.
+#ifndef SRC_PIPELINE_TRACE_H_
+#define SRC_PIPELINE_TRACE_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace litereconfig {
+
+struct DecisionRecord {
+  uint64_t video_seed = 0;
+  int frame = 0;
+  std::string branch_id;
+  // Heavy features used for the decision (names).
+  std::vector<std::string> features;
+  double predicted_accuracy = 0.0;
+  double predicted_frame_ms = 0.0;
+  double scheduler_cost_ms = 0.0;
+  double switch_cost_ms = 0.0;
+  // Realized GoF-amortized per-frame latency.
+  double actual_frame_ms = 0.0;
+  int gof_length = 0;
+  bool switched = false;
+  bool infeasible = false;
+  double gpu_cal = 1.0;
+};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& os) : os_(os) {}
+
+  void Write(const DecisionRecord& record);
+  size_t count() const { return count_; }
+
+ private:
+  std::ostream& os_;
+  size_t count_ = 0;
+};
+
+class TraceReader {
+ public:
+  // Parses one JSONL line; nullopt on malformed input.
+  static std::optional<DecisionRecord> ParseLine(const std::string& line);
+
+  // Reads all well-formed records from a stream.
+  static std::vector<DecisionRecord> ReadAll(std::istream& is);
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_PIPELINE_TRACE_H_

@@ -1,0 +1,70 @@
+#include "src/pipeline/workbench.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "src/pipeline/serialize.h"
+#include "src/util/strings.h"
+
+namespace litereconfig {
+
+std::string CacheDir() {
+  const char* env = std::getenv("LITERECONFIG_CACHE_DIR");
+  std::string dir = env != nullptr ? env : "./.litereconfig-cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+TrainConfig Workbench::DefaultTrainConfig(DeviceType device) {
+  TrainConfig config;
+  config.device = device;
+  return config;
+}
+
+DatasetSpec Workbench::DefaultValidationSpec() {
+  return DatasetSpec{/*base_seed=*/42, /*num_videos=*/30, /*frames_per_video=*/150};
+}
+
+Workbench::Workbench(DeviceType device)
+    : train_config_(DefaultTrainConfig(device)),
+      train_(BuildDataset(train_config_.train_spec, DatasetSplit::kTrain)),
+      validation_(BuildDataset(DefaultValidationSpec(), DatasetSplit::kVal)) {
+  const BranchSpace& space = BranchSpace::Default();
+  uint64_t fingerprint = train_config_.Fingerprint();
+  std::string path = CacheDir() + "/models_" +
+                     std::string(GetDeviceProfile(device).name) + "_" +
+                     StrFormat("%016llx", static_cast<unsigned long long>(fingerprint)) +
+                     ".bin";
+  if (auto loaded = LoadTrainedModels(path, fingerprint, space)) {
+    models_ = std::move(*loaded);
+    return;
+  }
+  std::fprintf(stderr,
+               "[litereconfig] training scheduler models for %s (one-time, cached "
+               "at %s)...\n",
+               std::string(GetDeviceProfile(device).name).c_str(), path.c_str());
+  models_ = OfflineTrainer::Train(train_config_, space);
+  if (!SaveTrainedModels(models_, fingerprint, path)) {
+    std::fprintf(stderr, "[litereconfig] warning: could not write model cache %s\n",
+                 path.c_str());
+  }
+}
+
+const Workbench& Workbench::Get(DeviceType device) {
+  static std::mutex mutex;
+  static std::map<DeviceType, std::unique_ptr<Workbench>>* benches =
+      new std::map<DeviceType, std::unique_ptr<Workbench>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = benches->find(device);
+  if (it == benches->end()) {
+    it = benches->emplace(device, std::unique_ptr<Workbench>(new Workbench(device)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,46 @@
+// The shared experiment workbench used by the benches and examples.
+//
+// Holds one trained model bundle per device plus the train/validation datasets.
+// The offline pass is expensive, so trained bundles are cached on disk (keyed by
+// the TrainConfig fingerprint) under $LITERECONFIG_CACHE_DIR, defaulting to
+// ./.litereconfig-cache — the first bench trains, the rest load.
+#ifndef SRC_PIPELINE_WORKBENCH_H_
+#define SRC_PIPELINE_WORKBENCH_H_
+
+#include <memory>
+#include <string>
+
+#include "src/pipeline/trainer.h"
+#include "src/video/dataset.h"
+
+namespace litereconfig {
+
+class Workbench {
+ public:
+  // Process-wide workbench for a device; trains (or loads) on first use.
+  static const Workbench& Get(DeviceType device);
+
+  const TrainedModels& models() const { return models_; }
+  const Dataset& train() const { return train_; }
+  const Dataset& validation() const { return validation_; }
+  const TrainConfig& train_config() const { return train_config_; }
+
+  // The bench-scale configurations (also used by the examples).
+  static TrainConfig DefaultTrainConfig(DeviceType device);
+  static DatasetSpec DefaultValidationSpec();
+
+ private:
+  Workbench(DeviceType device);
+
+  TrainConfig train_config_;
+  Dataset train_;
+  Dataset validation_;
+  TrainedModels models_;
+};
+
+// Resolved cache directory (created on demand).
+std::string CacheDir();
+
+}  // namespace litereconfig
+
+#endif  // SRC_PIPELINE_WORKBENCH_H_

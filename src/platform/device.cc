@@ -1,0 +1,37 @@
+#include "src/platform/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr DeviceProfile kProfiles[] = {
+    {"tx2", 1.0, 1.0, 8.0},
+    {"xavier", 2.4, 1.8, 32.0},
+};
+
+// Contention does not steal the whole GPU share linearly: scheduling slack
+// recovers some of it, hence the 0.85 coupling factor.
+constexpr double kContentionCoupling = 0.85;
+
+}  // namespace
+
+const DeviceProfile& GetDeviceProfile(DeviceType device) {
+  int idx = static_cast<int>(device);
+  assert(idx >= 0 && idx < 2);
+  return kProfiles[idx];
+}
+
+ContentionGenerator::ContentionGenerator(double level) { set_level(level); }
+
+void ContentionGenerator::set_level(double level) {
+  level_ = std::clamp(level, 0.0, 0.99);
+}
+
+double ContentionGenerator::GpuInflation() const {
+  return 1.0 / (1.0 - kContentionCoupling * level_);
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,47 @@
+// Device profiles and the GPU contention generator.
+//
+// The two evaluation boards (paper Section 4): the Jetson TX2 (256-core Pascal,
+// 8 GB unified memory) is the calibration reference (scale 1.0); the AGX Xavier
+// (512-core Volta, 32 GB) is a scaled profile. The contention generator stands in
+// for co-located applications occupying a fraction of the GPU: GPU-resident
+// kernels slow down by 1 / (1 - k * level).
+#ifndef SRC_PLATFORM_DEVICE_H_
+#define SRC_PLATFORM_DEVICE_H_
+
+#include <string_view>
+
+namespace litereconfig {
+
+enum class DeviceType {
+  kTx2 = 0,
+  kXavier = 1,
+};
+
+struct DeviceProfile {
+  std::string_view name;
+  // Speed multipliers relative to the TX2 (higher = faster).
+  double gpu_scale = 1.0;
+  double cpu_scale = 1.0;
+  double memory_gb = 8.0;
+};
+
+const DeviceProfile& GetDeviceProfile(DeviceType device);
+
+class ContentionGenerator {
+ public:
+  // level in [0, 0.99]: the fraction of GPU capacity held by other applications.
+  explicit ContentionGenerator(double level = 0.0);
+
+  double level() const { return level_; }
+  void set_level(double level);
+
+  // Multiplier applied to the mean latency of GPU-resident kernels.
+  double GpuInflation() const;
+
+ private:
+  double level_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_PLATFORM_DEVICE_H_

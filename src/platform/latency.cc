@@ -1,0 +1,79 @@
+#include "src/platform/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr double kDetectorBaseMs = 25.0;
+constexpr double kDetectorSpanMs = 480.0;
+constexpr double kShapeExponent = 1.9;
+constexpr double kNpropFloor = 0.25;
+constexpr double kNpropExponent = 0.55;
+
+// Per-frame tracker cost: cost_factor x (fixed + per-object) x downsampling gain.
+constexpr double kTrackerFixedMs = 1.2;
+constexpr double kTrackerPerObjectMs = 0.5;
+constexpr double kTrackerDsBaseMs = 2.2;
+constexpr double kTrackerDsExponent = 1.1;
+
+constexpr double kExecutionNoiseSigma = 0.05;
+
+}  // namespace
+
+LatencyModel::LatencyModel(DeviceType device, double gpu_contention_level)
+    : device_(device), contention_(gpu_contention_level) {}
+
+double LatencyModel::GpuMs(double tx2_ms) const {
+  return tx2_ms / GetDeviceProfile(device_).gpu_scale * contention_.GpuInflation();
+}
+
+double LatencyModel::CpuMs(double tx2_ms) const {
+  return tx2_ms / GetDeviceProfile(device_).cpu_scale;
+}
+
+double LatencyModel::DetectorMs(const DetectorConfig& config) const {
+  double shape_term = std::pow(config.shape / 576.0, kShapeExponent);
+  double nprop_term =
+      kNpropFloor +
+      (1.0 - kNpropFloor) * std::pow(config.nprop / 100.0, kNpropExponent);
+  return GpuMs(kDetectorBaseMs + kDetectorSpanMs * shape_term * nprop_term);
+}
+
+double LatencyModel::TrackerMs(const TrackerConfig& config, int num_objects) const {
+  const TrackerTraits& traits = GetTrackerTraits(config.type);
+  double ds_gain = kTrackerDsBaseMs /
+                   std::pow(static_cast<double>(config.downsample), kTrackerDsExponent);
+  double per_frame = traits.cost_factor *
+                     (kTrackerFixedMs + kTrackerPerObjectMs * num_objects) * ds_gain;
+  return CpuMs(per_frame);
+}
+
+double LatencyModel::BranchFrameMs(const Branch& branch, int num_objects) const {
+  double det = DetectorMs(branch.detector);
+  if (!branch.has_tracker || branch.gof <= 1) {
+    return det;
+  }
+  double track = TrackerMs(branch.tracker, num_objects);
+  return (det + track * (branch.gof - 1)) / static_cast<double>(branch.gof);
+}
+
+double LatencyModel::FeatureExtractMs(FeatureKind kind) const {
+  const FeatureCost& cost = GetFeatureCost(kind);
+  return cost.extract_on_gpu ? GpuMs(cost.extract_ms) : CpuMs(cost.extract_ms);
+}
+
+double LatencyModel::FeaturePredictMs(FeatureKind kind) const {
+  const FeatureCost& cost = GetFeatureCost(kind);
+  return cost.predict_on_gpu ? GpuMs(cost.predict_ms) : CpuMs(cost.predict_ms);
+}
+
+double LatencyModel::Sample(double mean_ms, Pcg32& rng) const {
+  // Lognormal with unit mean: exp(N(-sigma^2/2, sigma)).
+  double sigma = kExecutionNoiseSigma;
+  return mean_ms * rng.LogNormal(-0.5 * sigma * sigma, sigma);
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,64 @@
+#include "src/platform/switching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr double kBaseMs = 1.2;
+constexpr double kDestinationWeightMs = 6.5;
+constexpr double kSourceLightnessWeightMs = 3.5;
+constexpr double kTrackerChangeMs = 0.6;
+constexpr double kOutlierBaseProbability = 0.02;
+constexpr double kOutlierDecayPerSwitch = 0.05;
+
+}  // namespace
+
+SwitchingCostModel::SwitchingCostModel(DeviceType device) : device_(device) {}
+
+double SwitchingCostModel::DetectorHeaviness(const DetectorConfig& config) {
+  double shape_term = std::pow(config.shape / 576.0, 2.0);
+  double nprop_term = std::pow(config.nprop / 100.0, 0.6);
+  return 0.5 * shape_term + 0.5 * nprop_term;
+}
+
+double SwitchingCostModel::OfflineCostMs(const Branch& from, const Branch& to) const {
+  bool same_detector = from.detector == to.detector;
+  bool same_tracker = from.has_tracker == to.has_tracker &&
+                      (!from.has_tracker || from.tracker == to.tracker);
+  if (same_detector && same_tracker) {
+    return 0.0;
+  }
+  double cost = 0.0;
+  if (!same_detector) {
+    double dest = DetectorHeaviness(to.detector);
+    double source = DetectorHeaviness(from.detector);
+    cost += kBaseMs + kDestinationWeightMs * dest +
+            kSourceLightnessWeightMs * (1.0 - source);
+  }
+  if (!same_tracker) {
+    cost += kTrackerChangeMs;
+  }
+  return cost / GetDeviceProfile(device_).gpu_scale;
+}
+
+double SwitchingCostModel::OnlineCostMs(const Branch& from, const Branch& to,
+                                        int switches_so_far, Pcg32& rng) const {
+  double mean = OfflineCostMs(from, to);
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  double cost = mean * rng.LogNormal(0.0, 0.15);
+  // Cold graph misses: rarer as the run warms up (paper Figure 5(b) outliers).
+  double outlier_prob =
+      kOutlierBaseProbability /
+      (1.0 + kOutlierDecayPerSwitch * static_cast<double>(switches_so_far));
+  if (rng.Bernoulli(outlier_prob)) {
+    cost += rng.Uniform(1000.0, 5000.0);
+  }
+  return cost;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,45 @@
+// The Ben(F) benefit lookup table (paper Section 3.4).
+//
+// Feature selection must estimate the accuracy improvement a heavy feature would
+// bring *without extracting it*. The paper's answer: measure, offline, how much
+// the content-aware predictor with feature f improves the chosen branch's true
+// accuracy over the light-only predictor, bucketed by latency objective, and look
+// the number up online. Subset benefits combine by the max over members plus a
+// small complementarity bonus per extra feature — heavy features are largely
+// redundant views of the same content.
+#ifndef SRC_SCHED_BEN_TABLE_H_
+#define SRC_SCHED_BEN_TABLE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/features/feature.h"
+
+namespace litereconfig {
+
+class BenefitTable {
+ public:
+  // The latency-objective buckets benefits are tabulated under (ms).
+  static const std::vector<double>& Buckets();
+
+  void Set(FeatureKind kind, double bucket_ms, double benefit);
+
+  // Benefit of a single feature at the bucket nearest to slo_ms.
+  double Ben(FeatureKind kind, double slo_ms) const;
+
+  // Benefit of a feature subset (empty set -> 0).
+  double BenSubset(const std::vector<FeatureKind>& kinds, double slo_ms) const;
+
+  const std::map<std::pair<int, int>, double>& entries() const { return entries_; }
+  void Restore(std::map<std::pair<int, int>, double> entries);
+
+ private:
+  static int NearestBucketIndex(double slo_ms);
+
+  // Keyed by (feature kind, bucket index).
+  std::map<std::pair<int, int>, double> entries_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_SCHED_BEN_TABLE_H_

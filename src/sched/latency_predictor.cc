@@ -1,0 +1,79 @@
+#include "src/sched/latency_predictor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/features/light.h"
+
+namespace litereconfig {
+
+namespace {
+
+// Synthetic profiling grid over the light-feature dimensions that matter for
+// tracking cost (object count and size); mirrors profiling runs over clips with
+// varying object populations.
+std::vector<std::vector<double>> ProfilingLightGrid() {
+  std::vector<std::vector<double>> grid;
+  for (int count = 0; count <= 10; ++count) {
+    for (double size : {0.05, 0.15, 0.3, 0.5}) {
+      grid.push_back({720.0 / 720.0, 1280.0 / 1280.0, count / 8.0, size});
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+LatencyPredictor LatencyPredictor::Profile(const BranchSpace& space,
+                                           const LatencyModel& model) {
+  LatencyPredictor predictor;
+  predictor.space_ = &space;
+  std::vector<std::vector<double>> grid = ProfilingLightGrid();
+  Matrix x(grid.size(), kLightFeatureDim);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    for (int j = 0; j < kLightFeatureDim; ++j) {
+      x(i, static_cast<size_t>(j)) = grid[i][static_cast<size_t>(j)];
+    }
+  }
+  for (const Branch& branch : space.branches()) {
+    predictor.detector_ms_.push_back(model.DetectorMs(branch.detector));
+    std::vector<double> y(grid.size(), 0.0);
+    if (branch.has_tracker) {
+      for (size_t i = 0; i < grid.size(); ++i) {
+        int count = static_cast<int>(grid[i][2] * 8.0 + 0.5);
+        y[i] = model.TrackerMs(branch.tracker, count);
+      }
+    }
+    predictor.tracker_models_.push_back(RidgeRegression::Fit(x, y, 1e-6));
+  }
+  return predictor;
+}
+
+double LatencyPredictor::PredictFrameMs(size_t index,
+                                        const std::vector<double>& light_features,
+                                        double gpu_cal, double cpu_cal,
+                                        int effective_gof) const {
+  assert(space_ != nullptr && index < detector_ms_.size());
+  const Branch& branch = space_->at(index);
+  int gof = branch.gof;
+  if (effective_gof > 0) {
+    gof = std::min(gof, effective_gof);
+  }
+  double det = detector_ms_[index] * gpu_cal;
+  if (!branch.has_tracker || gof <= 1) {
+    return det;
+  }
+  double track =
+      std::max(0.0, tracker_models_[index].Predict(light_features)) * cpu_cal;
+  return (det + track * (gof - 1)) / static_cast<double>(gof);
+}
+
+void LatencyPredictor::Restore(const BranchSpace& space,
+                               std::vector<double> detector_ms,
+                               std::vector<RidgeRegression> tracker_models) {
+  space_ = &space;
+  detector_ms_ = std::move(detector_ms);
+  tracker_models_ = std::move(tracker_models);
+}
+
+}  // namespace litereconfig

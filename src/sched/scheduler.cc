@@ -1,0 +1,215 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/features/light.h"
+
+namespace litereconfig {
+
+double TrainedModels::FeatureCostMs(FeatureKind kind, double gpu_cal,
+                                    double cpu_cal) const {
+  const FeatureCost& cost = GetFeatureCost(kind);
+  size_t idx = static_cast<size_t>(kind);
+  double extract =
+      feature_extract_ms[idx] * (cost.extract_on_gpu ? gpu_cal : cpu_cal);
+  double predict =
+      feature_predict_ms[idx] * (cost.predict_on_gpu ? gpu_cal : cpu_cal);
+  return extract + predict;
+}
+
+LiteReconfigScheduler::LiteReconfigScheduler(const TrainedModels* models,
+                                             SchedulerConfig config)
+    : models_(models), config_(config) {
+  assert(models_ != nullptr && models_->space != nullptr);
+}
+
+double LiteReconfigScheduler::FrameCostMs(size_t index,
+                                          const std::vector<double>& light,
+                                          double sched_ms,
+                                          const DecisionContext& ctx) const {
+  const Branch& branch = models_->space->at(index);
+  int effective_gof = branch.gof;
+  if (ctx.frames_remaining > 0) {
+    effective_gof = std::min(effective_gof, ctx.frames_remaining);
+  }
+  // Conservative constraint evaluation: the tracked-object count can grow by
+  // the time the GoF runs (new objects enter, confidences rise), so the
+  // tracker cost is predicted at count + 1. Without this headroom, the
+  // per-object cost of heavy trackers (CSRT ~8 ms/object/frame) makes P95
+  // violations routine at mid SLOs.
+  std::vector<double> conservative = light;
+  conservative[2] += 1.0 / 8.0;
+  double frame_ms = models_->latency.PredictFrameMs(index, conservative,
+                                                    ctx.gpu_cal, ctx.cpu_cal,
+                                                    effective_gof);
+  double switch_ms = 0.0;
+  if (config_.use_switching_cost && ctx.current_branch.has_value() &&
+      models_->switching.has_value()) {
+    switch_ms = models_->switching->OfflineCostMs(
+        models_->space->at(*ctx.current_branch), branch);
+  }
+  // Scheduler and switching costs occur once per GoF; amortize over its frames.
+  return frame_ms + (sched_ms + switch_ms) / static_cast<double>(effective_gof);
+}
+
+std::vector<FeatureKind> LiteReconfigScheduler::SelectFeatures(
+    const std::vector<double>& light, const std::vector<double>& light_pred,
+    const DecisionContext& ctx) const {
+  double s0 = models_->FeatureCostMs(FeatureKind::kLight, ctx.gpu_cal, ctx.cpu_cal);
+  // Best achievable light-only predicted accuracy under a given scheduler cost.
+  auto base_best = [&](double sched_ms) {
+    double best = -1.0;
+    for (size_t b = 0; b < models_->space->size(); ++b) {
+      if (FrameCostMs(b, light, sched_ms, ctx) <= ctx.slo_ms * config_.slo_margin) {
+        best = std::max(best, light_pred[b]);
+      }
+    }
+    return best;
+  };
+
+  std::vector<FeatureKind> selected;
+  double selected_cost = 0.0;
+  double objective = base_best(s0);
+  if (objective < 0.0) {
+    // Not even the cheapest branch fits: no budget for content features.
+    return selected;
+  }
+  while (static_cast<int>(selected.size()) < config_.max_heavy_features) {
+    FeatureKind best_kind = FeatureKind::kLight;
+    double best_objective = objective;
+    for (FeatureKind kind : kHeavyFeatures) {
+      if (std::find(selected.begin(), selected.end(), kind) != selected.end()) {
+        continue;
+      }
+      std::vector<FeatureKind> candidate = selected;
+      candidate.push_back(kind);
+      double cand_cost =
+          selected_cost + models_->FeatureCostMs(kind, ctx.gpu_cal, ctx.cpu_cal);
+      double charged = config_.charge_feature_overhead ? s0 + cand_cost : s0;
+      double base = base_best(charged);
+      if (base < 0.0) {
+        continue;  // the feature's cost leaves no feasible branch
+      }
+      double obj = base + models_->ben.BenSubset(candidate, ctx.slo_ms);
+      if (obj > best_objective + config_.min_feature_gain) {
+        best_objective = obj;
+        best_kind = kind;
+      }
+    }
+    if (best_kind == FeatureKind::kLight) {
+      break;
+    }
+    selected.push_back(best_kind);
+    selected_cost += models_->FeatureCostMs(best_kind, ctx.gpu_cal, ctx.cpu_cal);
+    objective = best_objective;
+  }
+  return selected;
+}
+
+SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) const {
+  assert(ctx.video != nullptr && ctx.anchor_detections != nullptr);
+  const VideoSpec& spec = ctx.video->spec();
+  std::vector<double> light =
+      ComputeLightFeatures(spec.width, spec.height, *ctx.anchor_detections);
+  const AccuracyPredictor& light_model = models_->accuracy.at(FeatureKind::kLight);
+  std::vector<double> light_pred = light_model.Predict(light, {});
+
+  // 1. Which heavy features to use.
+  std::vector<FeatureKind> heavy;
+  switch (config_.mode) {
+    case LiteReconfigMode::kFull:
+      heavy = SelectFeatures(light, light_pred, ctx);
+      break;
+    case LiteReconfigMode::kMinCost:
+      break;
+    case LiteReconfigMode::kMaxContentResNet:
+      heavy = {FeatureKind::kResNet50};
+      break;
+    case LiteReconfigMode::kMaxContentMobileNet:
+      heavy = {FeatureKind::kMobileNetV2};
+      break;
+    case LiteReconfigMode::kForceFeature:
+      heavy = {config_.forced_feature};
+      break;
+  }
+
+  // 2. Extract the selected features and run their accuracy models.
+  double s0 = models_->FeatureCostMs(FeatureKind::kLight, ctx.gpu_cal, ctx.cpu_cal);
+  double heavy_cost = 0.0;
+  std::vector<double> accuracy = light_pred;
+  if (!heavy.empty()) {
+    std::vector<double> combined(models_->space->size(), 0.0);
+    for (FeatureKind kind : heavy) {
+      heavy_cost += models_->FeatureCostMs(kind, ctx.gpu_cal, ctx.cpu_cal);
+      std::vector<double> content =
+          ExtractFeature(kind, *ctx.video, ctx.frame, *ctx.anchor_detections);
+      std::vector<double> pred = models_->accuracy.at(kind).Predict(light, content);
+      for (size_t b = 0; b < combined.size(); ++b) {
+        combined[b] += pred[b];
+      }
+    }
+    // The content-aware models refine (not replace) the content-agnostic
+    // prediction: averaging with the light-only model bounds the estimation
+    // variance the heavy models add on top of their content signal.
+    for (size_t b = 0; b < combined.size(); ++b) {
+      combined[b] = 0.5 * (combined[b] / static_cast<double>(heavy.size()) +
+                           light_pred[b]);
+    }
+    accuracy = std::move(combined);
+  }
+
+  // 3. Constrained optimization over branches (Eq. 3).
+  double charged = config_.charge_feature_overhead ? s0 + heavy_cost : s0;
+  SchedulerDecision decision;
+  decision.heavy_features = heavy;
+  decision.scheduler_cost_ms = s0 + heavy_cost;
+  double best_acc = -1.0;
+  size_t best_branch = 0;
+  double cheapest_ms = std::numeric_limits<double>::infinity();
+  size_t cheapest_branch = 0;
+  for (size_t b = 0; b < models_->space->size(); ++b) {
+    double frame_ms = FrameCostMs(b, light, charged, ctx);
+    if (frame_ms < cheapest_ms) {
+      cheapest_ms = frame_ms;
+      cheapest_branch = b;
+    }
+    if (frame_ms > ctx.slo_ms * config_.slo_margin) {
+      continue;
+    }
+    if (accuracy[b] > best_acc) {
+      best_acc = accuracy[b];
+      best_branch = b;
+    }
+  }
+  if (best_acc < 0.0) {
+    // Nothing feasible: degrade to the cheapest branch.
+    decision.infeasible = true;
+    best_branch = cheapest_branch;
+    best_acc = accuracy[cheapest_branch];
+  } else if (config_.use_hysteresis && ctx.current_branch.has_value()) {
+    // Anti-thrashing: keep the current branch unless the winner is clearly
+    // better (the switching cost itself is already inside the constraint).
+    size_t cur = *ctx.current_branch;
+    double cur_ms = FrameCostMs(cur, light, charged, ctx);
+    if (cur_ms <= ctx.slo_ms * config_.slo_margin &&
+        accuracy[cur] >= best_acc - config_.switch_hysteresis) {
+      best_branch = cur;
+      best_acc = accuracy[cur];
+    }
+  }
+  decision.branch_index = best_branch;
+  decision.predicted_accuracy = best_acc;
+  decision.predicted_frame_ms =
+      models_->latency.PredictFrameMs(best_branch, light, ctx.gpu_cal, ctx.cpu_cal);
+  if (ctx.current_branch.has_value() && models_->switching.has_value() &&
+      *ctx.current_branch != best_branch) {
+    decision.switch_cost_ms = models_->switching->OfflineCostMs(
+        models_->space->at(*ctx.current_branch), models_->space->at(best_branch));
+  }
+  return decision;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,141 @@
+// The LiteReconfig scheduler: cost-benefit feature selection (Eq. 4) followed by
+// the switching-cost-aware constrained branch optimization (Eq. 3).
+//
+// Variants (paper Section 4):
+//   * kFull               — cost-benefit analysis over all content features;
+//   * kMinCost            — content-agnostic: light features only;
+//   * kMaxContentResNet   — always extracts and uses the ResNet50 feature;
+//   * kMaxContentMobileNet— always extracts and uses the MobileNetV2 feature;
+//   * kForceFeature       — always uses one given feature; with
+//     charge_feature_overhead = false this is the Table-4 protocol (the latency
+//     objective applies to the MBEK only and the feature overhead is ignored).
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/features/costs.h"
+#include "src/mbek/branch.h"
+#include "src/platform/switching.h"
+#include "src/sched/accuracy_predictor.h"
+#include "src/sched/ben_table.h"
+#include "src/sched/latency_predictor.h"
+#include "src/video/synthetic_video.h"
+
+namespace litereconfig {
+
+// Everything the scheduler learns offline (paper Section 4: trained on the
+// held-out 10% of the training videos; produced by src/pipeline/trainer).
+struct TrainedModels {
+  const BranchSpace* space = nullptr;
+  DeviceType device = DeviceType::kTx2;
+  LatencyPredictor latency;
+  // One accuracy predictor per feature, including the content-agnostic
+  // (FeatureKind::kLight) model.
+  std::map<FeatureKind, AccuracyPredictor> accuracy;
+  // Dataset-mean accuracy per branch (the fully content-agnostic view used by
+  // the ApproxDet baseline).
+  std::vector<double> mean_branch_accuracy;
+  BenefitTable ben;
+  // Per-feature costs at zero contention on the target device (ms).
+  std::array<double, kNumFeatureKinds> feature_extract_ms = {};
+  std::array<double, kNumFeatureKinds> feature_predict_ms = {};
+
+  // The offline switching-cost estimates the optimizer consults.
+  std::optional<SwitchingCostModel> switching;
+
+  double FeatureCostMs(FeatureKind kind, double gpu_cal, double cpu_cal) const;
+};
+
+enum class LiteReconfigMode {
+  kFull,
+  kMinCost,
+  kMaxContentResNet,
+  kMaxContentMobileNet,
+  kForceFeature,
+};
+
+struct SchedulerConfig {
+  LiteReconfigMode mode = LiteReconfigMode::kFull;
+  FeatureKind forced_feature = FeatureKind::kHoc;  // for kForceFeature
+  // Table-4 protocol: do not charge feature costs against the latency budget.
+  bool charge_feature_overhead = true;
+  // The greedy selection adds at most this many heavy features.
+  int max_heavy_features = 2;
+  // Minimum benefit-objective gain required to add another feature.
+  double min_feature_gain = 0.001;
+  // Minimum predicted-accuracy improvement required to leave the current branch
+  // (cost-aware anti-thrashing on top of the C(b0, b) constraint term).
+  double switch_hysteresis = 0.003;
+  // The constraint targets this fraction of the SLO: the P95 guarantee needs
+  // headroom above the predicted mean for execution noise and count drift
+  // (paper Section 5.5: "using up its latency budget prudently").
+  double slo_margin = 0.90;
+
+  // Ablation switches (all on in the real system; see bench_ablation):
+  // include the C(b0, b) switching-cost term in the constraint (paper S3.5);
+  bool use_switching_cost = true;
+  // apply the anti-thrashing hysteresis when leaving the current branch;
+  bool use_hysteresis = true;
+  // let the runtime calibrate latency predictions against observed kernel
+  // times (contention adaptation).
+  bool use_contention_calibration = true;
+};
+
+struct DecisionContext {
+  const SyntheticVideo* video = nullptr;
+  int frame = 0;
+  // The most recent detector output (source of light features and CPoP).
+  const DetectionList* anchor_detections = nullptr;
+  std::optional<size_t> current_branch;
+  double slo_ms = 33.3;
+  // Frames left in the stream (caps GoF amortization at the tail); 0 = unknown.
+  int frames_remaining = 0;
+  // Online latency calibration: observed/profiled ratios for GPU and CPU
+  // kernels (contention adaptation).
+  double gpu_cal = 1.0;
+  double cpu_cal = 1.0;
+};
+
+struct SchedulerDecision {
+  size_t branch_index = 0;
+  // Heavy features extracted for this decision.
+  std::vector<FeatureKind> heavy_features;
+  // Cost charged for this decision: light + heavy extraction and prediction, ms.
+  double scheduler_cost_ms = 0.0;
+  // Offline switching-cost estimate for the chosen transition, ms.
+  double switch_cost_ms = 0.0;
+  double predicted_accuracy = 0.0;
+  double predicted_frame_ms = 0.0;
+  // No branch satisfied the SLO; the cheapest branch was chosen instead.
+  bool infeasible = false;
+};
+
+class LiteReconfigScheduler {
+ public:
+  LiteReconfigScheduler(const TrainedModels* models, SchedulerConfig config);
+
+  SchedulerDecision Decide(const DecisionContext& ctx) const;
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  // Amortized per-frame latency of branch b including scheduler + switch costs.
+  double FrameCostMs(size_t index, const std::vector<double>& light,
+                     double sched_ms, const DecisionContext& ctx) const;
+
+  // Greedy cost-benefit feature selection (Eq. 4). Returns the chosen subset.
+  std::vector<FeatureKind> SelectFeatures(const std::vector<double>& light,
+                                          const std::vector<double>& light_pred,
+                                          const DecisionContext& ctx) const;
+
+  const TrainedModels* models_;
+  SchedulerConfig config_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_SCHED_SCHEDULER_H_

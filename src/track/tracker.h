@@ -1,0 +1,86 @@
+// Visual tracker models for tracking-by-detection.
+//
+// The MBEK pairs the detector with one of four trackers (paper Section 4):
+// MedianFlow, KCF, CSRT, and dense optical flow, each trading robustness for
+// speed, plus a frame-downsampling knob (ds) that makes any tracker faster and
+// less precise. A track is simulated as the ground-truth trajectory corrupted by
+// an error state that random-walks over time: positional drift grows with object
+// speed, the downsampling ratio, and the tracker's drift coefficient, and the
+// track can be lost outright (box freezes) with a per-frame hazard that grows
+// with speed, downsampling, and occlusion.
+#ifndef SRC_TRACK_TRACKER_H_
+#define SRC_TRACK_TRACKER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/video/synthetic_video.h"
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+enum class TrackerType {
+  kMedianFlow = 0,  // cheap, fragile on fast motion
+  kKcf = 1,         // mid cost, mid robustness
+  kCsrt = 2,        // expensive, robust
+  kOpticalFlow = 3, // dense flow: robust to crowding, costly on CPU
+  kCount,
+};
+
+inline constexpr int kNumTrackerTypes = static_cast<int>(TrackerType::kCount);
+
+std::string_view TrackerName(TrackerType type);
+
+struct TrackerConfig {
+  TrackerType type = TrackerType::kMedianFlow;
+  int downsample = 4;  // frame downsampling ratio fed to the tracker
+
+  bool operator==(const TrackerConfig&) const = default;
+};
+
+// Per-tracker behaviour coefficients (also consumed by the latency model).
+struct TrackerTraits {
+  // Positional drift (px of error growth per frame per unit apparent speed).
+  double drift = 0.1;
+  // Baseline per-frame probability of losing a slow, unoccluded target.
+  double loss_hazard = 0.01;
+  // Robustness to occlusion in [0, 1]; 1 means occlusion barely matters.
+  double occlusion_robustness = 0.5;
+  // Relative compute cost (1.0 = MedianFlow at ds=1).
+  double cost_factor = 1.0;
+};
+
+const TrackerTraits& GetTrackerTraits(TrackerType type);
+
+// State of one tracked object between frames.
+struct TrackState {
+  int64_t object_id = -1;  // -1 when tracking a false positive
+  int class_id = 0;
+  double score = 0.0;
+  // Accumulated positional error (px, original frame coordinates).
+  double offset_x = 0.0;
+  double offset_y = 0.0;
+  // Multiplicative scale error.
+  double scale_error = 1.0;
+  bool lost = false;
+  // Last emitted box (used verbatim once the track is lost).
+  Box last_box;
+};
+
+class TrackerSim {
+ public:
+  // Initializes track states from the anchor-frame detections. Detections whose
+  // object_id is -1 (false positives) are tracked as static boxes.
+  static std::vector<TrackState> InitTracks(const DetectionList& detections);
+
+  // Advances all tracks to frame t of the video and emits that frame's outputs.
+  // Mutates `tracks` in place. run_salt distinguishes independent online runs.
+  static DetectionList Step(const SyntheticVideo& video, int t,
+                            const TrackerConfig& config,
+                            std::vector<TrackState>& tracks, uint64_t run_salt = 0);
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_TRACK_TRACKER_H_

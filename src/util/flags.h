@@ -1,0 +1,65 @@
+// A small command-line flag parser for the tools (no external dependencies).
+//
+// Usage:
+//   FlagSet flags("tool description");
+//   flags.Define("device", "tx2", "target device: tx2 | xavier");
+//   flags.Define("slo", "33.3", "latency objective in ms");
+//   if (!flags.Parse(argc, argv)) { flags.PrintHelp(std::cerr); return 1; }
+//   double slo = flags.GetDouble("slo");
+// Flags are passed as --name=value or --name value; --help is built in.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace litereconfig {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string description);
+
+  // Registers a flag with its default value. Must precede Parse.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  // Returns false on an unknown flag, a missing value, or --help.
+  bool Parse(int argc, const char* const* argv);
+
+  // True when --help was requested (Parse returned false without an error).
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+
+  std::string GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  // Whether the flag was explicitly set on the command line.
+  bool IsSet(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void PrintHelp(std::ostream& os) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool set = false;
+  };
+
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_UTIL_FLAGS_H_

@@ -1,0 +1,112 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace litereconfig {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashKeys(std::initializer_list<uint64_t> keys) {
+  uint64_t state = 0x853C49E6748FEA9Bull;
+  uint64_t acc = 0;
+  for (uint64_t k : keys) {
+    state ^= k + 0x9E3779B97F4A7C15ull + (acc << 6) + (acc >> 2);
+    acc = SplitMix64(state);
+  }
+  return acc;
+}
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::NextDouble() {
+  // 53-bit mantissa from two draws.
+  uint64_t hi = NextU32();
+  uint64_t lo = NextU32();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Pcg32::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint32_t Pcg32::UniformInt(uint32_t n) {
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * n;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < n) {
+    uint32_t t = (-n) % n;
+    while (l < t) {
+      m = static_cast<uint64_t>(NextU32()) * n;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+bool Pcg32::Bernoulli(double p) { return NextDouble() < p; }
+
+double Pcg32::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+double Pcg32::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Pcg32::Exponential(double rate) {
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+int Pcg32::Poisson(double lambda) {
+  if (lambda <= 0.0) {
+    return 0;
+  }
+  if (lambda > 64.0) {
+    double v = Normal(lambda, std::sqrt(lambda));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  double limit = std::exp(-lambda);
+  double prod = NextDouble();
+  int n = 0;
+  while (prod > limit) {
+    prod *= NextDouble();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace litereconfig

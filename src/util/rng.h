@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the simulator is drawn from hash-seeded substreams so
+// that any experiment re-runs bit-identically: a substream is keyed by the tuple of
+// entity identifiers that own the draw (video id, frame index, branch id, ...), not
+// by global call order. PCG32 is used as the core generator because it is small,
+// fast, and has well-understood statistical quality.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace litereconfig {
+
+// SplitMix64 step; used both as a seed expander and as a cheap mixing hash.
+uint64_t SplitMix64(uint64_t& state);
+
+// Mixes an arbitrary list of integer keys into a single well-distributed 64-bit
+// value. Order-sensitive: HashKeys({a, b}) != HashKeys({b, a}) in general.
+uint64_t HashKeys(std::initializer_list<uint64_t> keys);
+
+// Minimal PCG32 (XSH-RR) generator with convenience distributions.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0x9E3779B97F4A7C15ull);
+
+  uint32_t NextU32();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  uint32_t UniformInt(uint32_t n);
+  bool Bernoulli(double p);
+  // Standard normal via Box-Muller (second value cached).
+  double Normal();
+  double Normal(double mean, double stddev);
+  // Log-normal with the given *underlying* normal parameters.
+  double LogNormal(double mu, double sigma);
+  double Exponential(double rate);
+  // Poisson; Knuth's method for small lambda, normal approximation above 64.
+  int Poisson(double lambda);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_UTIL_RNG_H_

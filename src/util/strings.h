@@ -1,0 +1,20 @@
+// Small string-formatting helpers (libstdc++ 12 lacks <format>).
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace litereconfig {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Fixed-precision double rendering, e.g. FmtDouble(3.14159, 2) == "3.14".
+std::string FmtDouble(double value, int precision);
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace litereconfig
+
+#endif  // SRC_UTIL_STRINGS_H_

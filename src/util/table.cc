@@ -1,0 +1,56 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+namespace litereconfig {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  Row row;
+  row.cells = std::move(cells);
+  row.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { pending_separator_ = true; }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto print_rule = [&]() {
+    os << '+';
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << text << std::string(widths[c] - text.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) {
+      print_rule();
+    }
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+}  // namespace litereconfig

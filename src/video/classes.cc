@@ -1,0 +1,62 @@
+#include "src/video/classes.h"
+
+#include <cassert>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumClasses> kClassNames = {
+    "airplane",  "antelope", "bear",       "bicycle",   "bird",     "bus",
+    "car",       "cattle",   "dog",        "domestic_cat", "elephant", "fox",
+    "giant_panda", "hamster", "horse",     "lion",      "lizard",   "monkey",
+    "motorcycle", "rabbit",  "red_panda",  "sheep",     "snake",    "squirrel",
+    "tiger",     "train",    "turtle",     "watercraft", "whale",   "zebra"};
+
+// size_fraction, speed_fraction, aspect, r, g, b.
+constexpr std::array<ClassPriors, kNumClasses> kClassPriors = {{
+    {0.30, 0.030, 3.0, 0.75, 0.78, 0.82},  // airplane
+    {0.22, 0.022, 1.6, 0.62, 0.48, 0.30},  // antelope
+    {0.34, 0.008, 1.4, 0.35, 0.25, 0.18},  // bear
+    {0.24, 0.024, 1.2, 0.70, 0.20, 0.20},  // bicycle
+    {0.10, 0.034, 1.3, 0.55, 0.55, 0.62},  // bird
+    {0.42, 0.020, 2.4, 0.85, 0.65, 0.20},  // bus
+    {0.20, 0.032, 1.8, 0.30, 0.35, 0.70},  // car
+    {0.30, 0.007, 1.6, 0.45, 0.35, 0.28},  // cattle
+    {0.22, 0.018, 1.4, 0.55, 0.42, 0.30},  // dog
+    {0.18, 0.012, 1.3, 0.50, 0.48, 0.45},  // domestic_cat
+    {0.46, 0.006, 1.5, 0.45, 0.42, 0.40},  // elephant
+    {0.16, 0.026, 1.5, 0.80, 0.45, 0.20},  // fox
+    {0.30, 0.005, 1.3, 0.92, 0.92, 0.90},  // giant_panda
+    {0.08, 0.014, 1.2, 0.75, 0.62, 0.45},  // hamster
+    {0.30, 0.024, 1.5, 0.40, 0.28, 0.20},  // horse
+    {0.28, 0.014, 1.7, 0.78, 0.62, 0.32},  // lion
+    {0.08, 0.010, 2.2, 0.42, 0.58, 0.30},  // lizard
+    {0.16, 0.026, 1.1, 0.48, 0.38, 0.30},  // monkey
+    {0.22, 0.036, 1.4, 0.25, 0.25, 0.30},  // motorcycle
+    {0.10, 0.024, 1.2, 0.72, 0.68, 0.62},  // rabbit
+    {0.14, 0.012, 1.4, 0.70, 0.32, 0.18},  // red_panda
+    {0.22, 0.008, 1.4, 0.85, 0.82, 0.78},  // sheep
+    {0.08, 0.008, 3.2, 0.38, 0.45, 0.25},  // snake
+    {0.07, 0.034, 1.3, 0.55, 0.42, 0.32},  // squirrel
+    {0.28, 0.018, 1.7, 0.82, 0.55, 0.25},  // tiger
+    {0.50, 0.028, 3.6, 0.35, 0.40, 0.42},  // train
+    {0.12, 0.004, 1.6, 0.35, 0.42, 0.28},  // turtle
+    {0.34, 0.014, 2.6, 0.60, 0.65, 0.75},  // watercraft
+    {0.52, 0.010, 2.8, 0.30, 0.38, 0.48},  // whale
+    {0.26, 0.022, 1.6, 0.88, 0.88, 0.85},  // zebra
+}};
+
+}  // namespace
+
+std::string_view ClassName(int class_id) {
+  assert(class_id >= 0 && class_id < kNumClasses);
+  return kClassNames[static_cast<size_t>(class_id)];
+}
+
+const ClassPriors& GetClassPriors(int class_id) {
+  assert(class_id >= 0 && class_id < kNumClasses);
+  return kClassPriors[static_cast<size_t>(class_id)];
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,38 @@
+// The 30 ImageNet VID object categories and their content priors.
+//
+// Each class carries priors (typical on-screen size, speed, aspect ratio, hue)
+// that the synthetic video generator uses so that class identity correlates with
+// content characteristics, as it does in the real dataset (whales are large and
+// slow; squirrels are small and fast). These correlations are what make the CPoP
+// (class prediction) feature informative for branch selection.
+#ifndef SRC_VIDEO_CLASSES_H_
+#define SRC_VIDEO_CLASSES_H_
+
+#include <array>
+#include <string_view>
+
+namespace litereconfig {
+
+inline constexpr int kNumClasses = 30;
+
+// Index into per-class tables; matches the alphabetical VID ordering.
+std::string_view ClassName(int class_id);
+
+struct ClassPriors {
+  // Typical box height as a fraction of frame height.
+  double size_fraction = 0.2;
+  // Typical speed as a fraction of frame width per frame.
+  double speed_fraction = 0.01;
+  // Typical width/height ratio.
+  double aspect_ratio = 1.0;
+  // Dominant color, RGB in [0, 1].
+  double r = 0.5;
+  double g = 0.5;
+  double b = 0.5;
+};
+
+const ClassPriors& GetClassPriors(int class_id);
+
+}  // namespace litereconfig
+
+#endif  // SRC_VIDEO_CLASSES_H_

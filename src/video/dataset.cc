@@ -1,0 +1,33 @@
+#include "src/video/dataset.h"
+
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+Dataset BuildDataset(const DatasetSpec& spec, DatasetSplit split) {
+  Dataset dataset;
+  dataset.videos.reserve(static_cast<size_t>(spec.num_videos));
+  uint64_t split_salt = split == DatasetSplit::kTrain ? 0x7121a11ull : 0x0a1ull;
+  for (int i = 0; i < spec.num_videos; ++i) {
+    VideoSpec vspec;
+    vspec.seed = HashKeys({spec.base_seed, split_salt, static_cast<uint64_t>(i)});
+    vspec.width = spec.width;
+    vspec.height = spec.height;
+    vspec.frame_count = spec.frames_per_video;
+    vspec.archetype = static_cast<SceneArchetype>(i % kNumArchetypes);
+    dataset.videos.push_back(SyntheticVideo::Generate(vspec));
+  }
+  return dataset;
+}
+
+std::vector<SnippetRef> MakeSnippets(const Dataset& dataset, int length, int stride) {
+  std::vector<SnippetRef> snippets;
+  for (const SyntheticVideo& video : dataset.videos) {
+    for (int start = 0; start + length <= video.frame_count(); start += stride) {
+      snippets.push_back({&video, start, length});
+    }
+  }
+  return snippets;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,46 @@
+// Dataset construction: disjoint train/val splits of synthetic videos, and
+// snippet (look-ahead window) slicing, mirroring the paper's protocol of
+// training the scheduler on held-out training videos and evaluating on the
+// validation set.
+#ifndef SRC_VIDEO_DATASET_H_
+#define SRC_VIDEO_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/video/synthetic_video.h"
+
+namespace litereconfig {
+
+enum class DatasetSplit { kTrain, kVal };
+
+struct DatasetSpec {
+  uint64_t base_seed = 42;
+  int num_videos = 40;
+  int frames_per_video = 180;
+  int width = 1280;
+  int height = 720;
+};
+
+struct Dataset {
+  std::vector<SyntheticVideo> videos;
+};
+
+// Builds a split; train and val draw from disjoint seed ranges and cycle through
+// the scene archetypes so both splits cover all content regimes.
+Dataset BuildDataset(const DatasetSpec& spec, DatasetSplit split);
+
+// A contiguous window of one video: the unit over which per-branch accuracy is
+// predicted (paper: N = 100 frames).
+struct SnippetRef {
+  const SyntheticVideo* video = nullptr;
+  int start = 0;
+  int length = 0;
+};
+
+// All snippets of the given length with the given stride across the dataset.
+std::vector<SnippetRef> MakeSnippets(const Dataset& dataset, int length, int stride);
+
+}  // namespace litereconfig
+
+#endif  // SRC_VIDEO_DATASET_H_

@@ -1,0 +1,44 @@
+// Small RGB rasterization of synthetic frames.
+//
+// The HoC and HOG content features are *really computed* on these rasters, so the
+// raster must carry the content signal: background palette and gradient, clutter
+// speckle whose density follows the scene's clutter level, and objects drawn as
+// filled ellipses with their color, texture noise, and occlusion-dependent blending.
+#ifndef SRC_VIDEO_RASTER_H_
+#define SRC_VIDEO_RASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/video/synthetic_video.h"
+
+namespace litereconfig {
+
+struct Image {
+  int width = 0;
+  int height = 0;
+  // Row-major RGB, 3 bytes per pixel.
+  std::vector<uint8_t> data;
+
+  uint8_t At(int x, int y, int channel) const {
+    return data[static_cast<size_t>((y * width + x) * 3 + channel)];
+  }
+  void Set(int x, int y, int channel, uint8_t value) {
+    data[static_cast<size_t>((y * width + x) * 3 + channel)] = value;
+  }
+  // Luma in [0, 255].
+  double GrayAt(int x, int y) const {
+    return 0.299 * At(x, y, 0) + 0.587 * At(x, y, 1) + 0.114 * At(x, y, 2);
+  }
+};
+
+inline constexpr int kRasterWidth = 96;
+inline constexpr int kRasterHeight = 54;
+
+// Renders frame t of the video into a kRasterWidth x kRasterHeight image.
+// Deterministic in (video seed, frame index).
+Image RenderFrame(const SyntheticVideo& video, int t);
+
+}  // namespace litereconfig
+
+#endif  // SRC_VIDEO_RASTER_H_

@@ -1,0 +1,55 @@
+#include "src/video/scene.h"
+
+#include <cassert>
+
+namespace litereconfig {
+
+namespace {
+
+// Class ids refer to the alphabetical VID ordering in src/video/classes.cc.
+constexpr std::array<ArchetypeParams, kNumArchetypes> kArchetypes = {{
+    // kSlowLarge: cattle, elephant, whale, sheep, giant_panda, bear, turtle, lion.
+    {1.6, 1.35, 0.45, 0.12, 0.08,
+     {0.60, 0.72, 0.85},
+     {0.30, 0.42, 0.25},
+     {7, 10, 28, 21, 12, 2, 26, 15}},
+    // kFastSmall: bird, squirrel, car, motorcycle, fox, rabbit, monkey, airplane.
+    {2.4, 0.55, 2.4, 0.10, 0.18,
+     {0.70, 0.78, 0.88},
+     {0.45, 0.52, 0.48},
+     {4, 23, 6, 18, 11, 19, 17, 0}},
+    // kCrowded: sheep, cattle, antelope, zebra, horse, dog, bicycle, car.
+    {5.5, 0.80, 0.90, 0.38, 0.30,
+     {0.55, 0.60, 0.65},
+     {0.35, 0.40, 0.28},
+     {21, 7, 1, 29, 14, 8, 3, 6}},
+    // kSparse: dog, domestic_cat, horse, tiger, watercraft, train, bus, hamster.
+    {1.0, 1.00, 1.00, 0.06, 0.10,
+     {0.62, 0.70, 0.82},
+     {0.38, 0.46, 0.36},
+     {8, 9, 14, 24, 27, 25, 5, 13}},
+    // kHighClutter: lizard, snake, hamster, squirrel, bird, fox, monkey, red_panda.
+    {2.8, 0.70, 1.10, 0.15, 0.75,
+     {0.48, 0.52, 0.42},
+     {0.30, 0.34, 0.22},
+     {16, 22, 13, 23, 4, 11, 17, 20}},
+}};
+
+constexpr std::array<std::string_view, kNumArchetypes> kArchetypeNames = {
+    "slow_large", "fast_small", "crowded", "sparse", "high_clutter"};
+
+}  // namespace
+
+std::string_view ArchetypeName(SceneArchetype archetype) {
+  int idx = static_cast<int>(archetype);
+  assert(idx >= 0 && idx < kNumArchetypes);
+  return kArchetypeNames[static_cast<size_t>(idx)];
+}
+
+const ArchetypeParams& GetArchetypeParams(SceneArchetype archetype) {
+  int idx = static_cast<int>(archetype);
+  assert(idx >= 0 && idx < kNumArchetypes);
+  return kArchetypes[static_cast<size_t>(idx)];
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,49 @@
+// Scene archetypes: the macro-level content regimes the synthetic corpus mixes.
+//
+// The paper's central premise is that the best execution branch depends on video
+// content (object scale, motion, crowding). Each archetype biases those properties
+// so that different archetypes (and transitions between them inside one video) favor
+// different branches, giving the content-aware scheduler real signal to exploit.
+#ifndef SRC_VIDEO_SCENE_H_
+#define SRC_VIDEO_SCENE_H_
+
+#include <array>
+#include <string_view>
+
+namespace litereconfig {
+
+enum class SceneArchetype {
+  kSlowLarge = 0,   // e.g. grazing cattle: few, large, slow objects
+  kFastSmall = 1,   // e.g. distant birds/cars: small, fast objects
+  kCrowded = 2,     // many medium objects, mutual occlusion
+  kSparse = 3,      // one or two mid-sized objects, moderate motion
+  kHighClutter = 4, // busy background texture, medium objects
+  kCount,
+};
+
+inline constexpr int kNumArchetypes = static_cast<int>(SceneArchetype::kCount);
+
+std::string_view ArchetypeName(SceneArchetype archetype);
+
+struct ArchetypeParams {
+  // Poisson mean of simultaneous object count (at least one object always exists).
+  double object_count_mean = 2.0;
+  // Multipliers applied to the per-class size/speed priors.
+  double size_scale = 1.0;
+  double speed_scale = 1.0;
+  // Background clutter density in [0, 1]: drives false positives and HOG energy.
+  double clutter = 0.2;
+  // Probability per object of a scripted occlusion episode.
+  double occlusion_rate = 0.1;
+  // Background palette (two RGB anchor colors for the gradient).
+  std::array<double, 3> bg_top = {0.55, 0.65, 0.80};
+  std::array<double, 3> bg_bottom = {0.35, 0.45, 0.30};
+  // Candidate classes this archetype draws from (subset biasing).
+  std::array<int, 8> class_pool = {0, 1, 2, 3, 4, 5, 6, 7};
+};
+
+const ArchetypeParams& GetArchetypeParams(SceneArchetype archetype);
+
+}  // namespace litereconfig
+
+#endif  // SRC_VIDEO_SCENE_H_

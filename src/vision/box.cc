@@ -1,0 +1,47 @@
+#include "src/vision/box.h"
+
+#include <algorithm>
+
+namespace litereconfig {
+
+Box Box::ClippedTo(double frame_w, double frame_h) const {
+  double x0 = std::max(0.0, x);
+  double y0 = std::max(0.0, y);
+  double x1 = std::min(frame_w, x + w);
+  double y1 = std::min(frame_h, y + h);
+  Box out;
+  out.x = x0;
+  out.y = y0;
+  out.w = std::max(0.0, x1 - x0);
+  out.h = std::max(0.0, y1 - y0);
+  return out;
+}
+
+Box Box::FromCenter(double cx, double cy, double w, double h) {
+  Box b;
+  b.x = cx - w / 2.0;
+  b.y = cy - h / 2.0;
+  b.w = w;
+  b.h = h;
+  return b;
+}
+
+double Iou(const Box& a, const Box& b) {
+  if (a.Empty() || b.Empty()) {
+    return 0.0;
+  }
+  double ix0 = std::max(a.x, b.x);
+  double iy0 = std::max(a.y, b.y);
+  double ix1 = std::min(a.x + a.w, b.x + b.w);
+  double iy1 = std::min(a.y + a.h, b.y + b.h);
+  double iw = ix1 - ix0;
+  double ih = iy1 - iy0;
+  if (iw <= 0.0 || ih <= 0.0) {
+    return 0.0;
+  }
+  double inter = iw * ih;
+  double uni = a.Area() + b.Area() - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,58 @@
+// Axis-aligned bounding boxes and the detection/ground-truth record types shared
+// by the detector, the trackers, and the evaluation metrics.
+#ifndef SRC_VISION_BOX_H_
+#define SRC_VISION_BOX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace litereconfig {
+
+// Axis-aligned box in pixel coordinates: (x, y) is the top-left corner.
+struct Box {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  double Area() const { return w <= 0.0 || h <= 0.0 ? 0.0 : w * h; }
+  double CenterX() const { return x + w / 2.0; }
+  double CenterY() const { return y + h / 2.0; }
+  bool Empty() const { return w <= 0.0 || h <= 0.0; }
+
+  // Returns this box clipped to the frame [0, frame_w] x [0, frame_h];
+  // may be Empty() if fully outside.
+  Box ClippedTo(double frame_w, double frame_h) const;
+
+  static Box FromCenter(double cx, double cy, double w, double h);
+};
+
+// Intersection-over-union of two boxes; 0 if either is empty.
+double Iou(const Box& a, const Box& b);
+
+// A detector or tracker output.
+struct Detection {
+  Box box;
+  int class_id = 0;
+  double score = 0.0;
+  // Identity of the underlying object when known (tracking); -1 otherwise.
+  int64_t object_id = -1;
+};
+
+// An annotated ground-truth instance.
+struct GroundTruthBox {
+  Box box;
+  int class_id = 0;
+  int64_t object_id = -1;
+};
+
+using DetectionList = std::vector<Detection>;
+using GroundTruthList = std::vector<GroundTruthBox>;
+
+// System-wide confidence threshold: detections at or above it count as tracked
+// objects (for the trackers, the latency accounting, and the light features).
+inline constexpr double kConfidentScoreThreshold = 0.3;
+
+}  // namespace litereconfig
+
+#endif  // SRC_VISION_BOX_H_

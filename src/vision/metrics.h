@@ -1,0 +1,63 @@
+// VOC-protocol mean average precision over video frames.
+//
+// This follows the standard ImageNet-VID / PASCAL evaluation: detections of each
+// class are ranked globally by confidence, greedily matched per frame against the
+// not-yet-claimed ground truth with IoU >= threshold, and AP is the area under the
+// interpolated precision-recall curve. mAP averages AP over classes that appear in
+// the ground truth.
+#ifndef SRC_VISION_METRICS_H_
+#define SRC_VISION_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/vision/box.h"
+
+namespace litereconfig {
+
+class ApEvaluator {
+ public:
+  explicit ApEvaluator(double iou_threshold = 0.5);
+
+  // Adds one evaluated frame. Detections and ground truth must describe the same
+  // frame; frames are independent for matching purposes.
+  void AddFrame(const GroundTruthList& ground_truth, const DetectionList& detections);
+
+  // AP for one class; 0 if the class never appears in the ground truth.
+  double AveragePrecision(int class_id) const;
+
+  // Mean AP over all classes with at least one ground-truth instance.
+  double MeanAveragePrecision() const;
+
+  // Classes observed in the ground truth so far.
+  std::vector<int> GroundTruthClasses() const;
+
+  size_t frame_count() const { return frame_count_; }
+
+ private:
+  struct ScoredDetection {
+    double score = 0.0;
+    size_t frame = 0;
+    Box box;
+  };
+  struct ClassData {
+    std::vector<ScoredDetection> detections;
+    // Ground-truth boxes per frame index.
+    std::map<size_t, std::vector<Box>> ground_truth;
+    size_t total_ground_truth = 0;
+  };
+
+  double iou_threshold_;
+  size_t frame_count_ = 0;
+  std::map<int, ClassData> classes_;
+};
+
+// Convenience single-shot evaluation of parallel frame sequences.
+double MeanAveragePrecision(const std::vector<GroundTruthList>& ground_truth,
+                            const std::vector<DetectionList>& detections,
+                            double iou_threshold = 0.5);
+
+}  // namespace litereconfig
+
+#endif  // SRC_VISION_METRICS_H_

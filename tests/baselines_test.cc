@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/approxdet.h"
+#include "src/baselines/families.h"
+#include "src/baselines/fixed_protocols.h"
+#include "src/baselines/knob_protocols.h"
+#include "src/pipeline/runner.h"
+#include "src/util/stats.h"
+#include "tests/test_support.h"
+
+namespace litereconfig {
+namespace {
+
+constexpr int kNumFamilies = static_cast<int>(BaselineFamily::kCount);
+
+TEST(FamiliesTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    names.insert(BaselineFamilyName(static_cast<BaselineFamily>(f)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumFamilies));
+}
+
+TEST(FamiliesTest, AccuracyOptimizedModelsHaveStrongerProfiles) {
+  const DetectorQuality& ssd = GetBaselineQuality(BaselineFamily::kSsd);
+  const DetectorQuality& selsa = GetBaselineQuality(BaselineFamily::kSelsa101);
+  EXPECT_LT(selsa.size_midpoint, ssd.size_midpoint);
+  EXPECT_GT(selsa.motion_half_speed, ssd.motion_half_speed);
+  EXPECT_LT(selsa.fp_scale, ssd.fp_scale);
+  EXPECT_GT(selsa.class_accuracy, ssd.class_accuracy);
+}
+
+TEST(FamiliesTest, LatencyAnchorsMatchPaperTable3) {
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kEfficientDetD0, 512),
+                   138.0);
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kEfficientDetD3, 896),
+                   796.0);
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kSelsa50, 600), 2112.0);
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kSelsa101, 600), 2334.0);
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kMegaBase, 600), 861.0);
+  EXPECT_DOUBLE_EQ(BaselineDetectorTx2Ms(BaselineFamily::kReppYolo, 416), 565.0);
+  // AdaScale scale anchors.
+  EXPECT_NEAR(BaselineDetectorTx2Ms(BaselineFamily::kAdaScale, 240), 227.9, 0.1);
+  EXPECT_NEAR(BaselineDetectorTx2Ms(BaselineFamily::kAdaScale, 600), 1049.4, 0.1);
+}
+
+TEST(FamiliesTest, SsdAndYoloScaleWithShape) {
+  EXPECT_LT(BaselineDetectorTx2Ms(BaselineFamily::kSsd, 224),
+            BaselineDetectorTx2Ms(BaselineFamily::kSsd, 448));
+  EXPECT_LT(BaselineDetectorTx2Ms(BaselineFamily::kYolo, 320),
+            BaselineDetectorTx2Ms(BaselineFamily::kYolo, 512));
+}
+
+TEST(FamiliesTest, OomFlagsMatchPaper) {
+  EXPECT_TRUE(BaselineOomOnTx2(BaselineFamily::kMega101));
+  EXPECT_TRUE(BaselineOomOnTx2(BaselineFamily::kMega50));
+  EXPECT_TRUE(BaselineOomOnTx2(BaselineFamily::kReppFgfa));
+  EXPECT_TRUE(BaselineOomOnTx2(BaselineFamily::kReppSelsa));
+  EXPECT_FALSE(BaselineOomOnTx2(BaselineFamily::kSelsa101));
+  EXPECT_FALSE(BaselineOomOnTx2(BaselineFamily::kMegaBase));
+}
+
+TEST(AdaScaleTest, PickScaleTargetsApparentSize) {
+  // Large objects -> coarse scale; small objects -> fine scale.
+  EXPECT_EQ(AdaScaleMsProtocol::PickScale(0.5), 240);
+  EXPECT_EQ(AdaScaleMsProtocol::PickScale(0.12), 480);
+  EXPECT_EQ(AdaScaleMsProtocol::PickScale(0.05), 600);
+  EXPECT_EQ(AdaScaleMsProtocol::PickScale(0.0), 600);
+}
+
+TEST(FixedDetectorProtocolTest, ProducesFrameAlignedOutput) {
+  FixedDetectorProtocol protocol(BaselineFamily::kEfficientDetD0, 512, "D0");
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 33.3, 1};
+  VideoRunStats stats = protocol.RunVideo(video, env);
+  EXPECT_FALSE(stats.oom);
+  EXPECT_EQ(stats.frames.size(), static_cast<size_t>(video.frame_count()));
+  EXPECT_EQ(stats.gof_frame_ms.size(), static_cast<size_t>(video.frame_count()));
+  EXPECT_EQ(stats.branches_used.size(), 1u);
+}
+
+TEST(FixedDetectorProtocolTest, OomOnTx2ButRunsOnXavier) {
+  FixedDetectorProtocol protocol(BaselineFamily::kMega101, 600, "MEGA-101");
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  SwitchingCostModel switching(DeviceType::kTx2);
+  LatencyModel tx2(DeviceType::kTx2, 0.0);
+  RunEnv tx2_env{&tx2, &switching, 100.0, 1};
+  EXPECT_TRUE(protocol.RunVideo(video, tx2_env).oom);
+  LatencyModel xavier(DeviceType::kXavier, 0.0);
+  RunEnv xavier_env{&xavier, &switching, 100.0, 1};
+  EXPECT_FALSE(protocol.RunVideo(video, xavier_env).oom);
+}
+
+TEST(FixedDetectorProtocolTest, ContentionInflatesLatency) {
+  FixedDetectorProtocol protocol(BaselineFamily::kEfficientDetD0, 512, "D0");
+  const SyntheticVideo& video = TinyValidation().videos[1];
+  SwitchingCostModel switching(DeviceType::kTx2);
+  LatencyModel calm(DeviceType::kTx2, 0.0);
+  LatencyModel contended(DeviceType::kTx2, 0.5);
+  RunEnv calm_env{&calm, &switching, 100.0, 1};
+  RunEnv hot_env{&contended, &switching, 100.0, 1};
+  double calm_mean = Mean(protocol.RunVideo(video, calm_env).gof_frame_ms);
+  double hot_mean = Mean(protocol.RunVideo(video, hot_env).gof_frame_ms);
+  EXPECT_GT(hot_mean, 1.4 * calm_mean);
+}
+
+TEST(AdaScaleMsProtocolTest, AdaptsScaleAcrossContent) {
+  AdaScaleMsProtocol protocol;
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 1000.0, 1};
+  std::set<std::string> scales;
+  for (const SyntheticVideo& video : TinyValidation().videos) {
+    VideoRunStats stats = protocol.RunVideo(video, env);
+    scales.insert(stats.branches_used.begin(), stats.branches_used.end());
+  }
+  // Across archetypes (large vs small objects) multiple scales must be used.
+  EXPECT_GE(scales.size(), 2u);
+}
+
+TEST(KnobSpaceTest, CoversShapesAndTrackers) {
+  std::vector<KnobSetting> space = StaticKnobProtocol::KnobSpace(BaselineFamily::kSsd);
+  // 6 shapes x (1 det-only + 5 GoFs x 2 trackers).
+  EXPECT_EQ(space.size(), 6u * 11u);
+  std::vector<KnobSetting> yolo = StaticKnobProtocol::KnobSpace(BaselineFamily::kYolo);
+  EXPECT_EQ(yolo.size(), 6u * 11u);
+}
+
+TEST(KnobSettingTest, BranchAndIdConversion) {
+  KnobSetting setting;
+  setting.shape = 320;
+  setting.gof = 8;
+  setting.has_tracker = true;
+  setting.tracker = {TrackerType::kKcf, 2};
+  Branch branch = setting.ToBranch();
+  EXPECT_EQ(branch.detector.shape, 320);
+  EXPECT_EQ(branch.detector.nprop, 100);
+  EXPECT_EQ(branch.gof, 8);
+  EXPECT_EQ(setting.Id(BaselineFamily::kSsd), "ssd_s320_g8_kcf_ds2");
+}
+
+class StaticKnobFixture : public ::testing::Test {
+ protected:
+  static StaticKnobProtocol MakeSsd(double slo) {
+    LatencyModel profile(DeviceType::kTx2, 0.0);
+    return StaticKnobProtocol(BaselineFamily::kSsd, "SSD+", TinyTrain(), profile,
+                              slo, /*max_profile_snippets=*/6);
+  }
+};
+
+TEST_F(StaticKnobFixture, ChoosesSettingWithinSlo) {
+  StaticKnobProtocol protocol = MakeSsd(33.3);
+  LatencyModel profile(DeviceType::kTx2, 0.0);
+  const KnobSetting& chosen = protocol.chosen_setting();
+  double det = profile.GpuScaledMs(BaselineDetectorTx2Ms(BaselineFamily::kSsd,
+                                                         chosen.shape));
+  if (chosen.has_tracker) {
+    double track = profile.TrackerMs(chosen.tracker, 3);
+    det = (det + track * (chosen.gof - 1)) / chosen.gof;
+  }
+  EXPECT_LE(det, 33.3);
+}
+
+TEST_F(StaticKnobFixture, LooserSloPicksRicherSetting) {
+  StaticKnobProtocol tight = MakeSsd(15.0);
+  StaticKnobProtocol loose = MakeSsd(120.0);
+  // The loose setting must be at least as accurate in the offline profile.
+  auto profiled_accuracy = [](const StaticKnobProtocol& protocol) {
+    for (const KnobProfileEntry& entry : protocol.profile()) {
+      if (entry.setting.shape == protocol.chosen_setting().shape &&
+          entry.setting.gof == protocol.chosen_setting().gof &&
+          entry.setting.has_tracker == protocol.chosen_setting().has_tracker) {
+        return entry.mean_accuracy;
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_GE(profiled_accuracy(loose), profiled_accuracy(tight) - 1e-9);
+}
+
+TEST_F(StaticKnobFixture, RunsFixedBranchOverVideo) {
+  StaticKnobProtocol protocol = MakeSsd(50.0);
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 50.0, 1};
+  VideoRunStats stats = protocol.RunVideo(video, env);
+  EXPECT_EQ(stats.frames.size(), static_cast<size_t>(video.frame_count()));
+  EXPECT_EQ(stats.branches_used.size(), 1u);
+  EXPECT_EQ(stats.switch_count, 0);
+}
+
+TEST(ApproxDetTest, ConstantsReflectFrameworkOverhead) {
+  EXPECT_GT(ApproxDetProtocol::kPerFrameOverheadMs, 50.0);
+  EXPECT_GT(ApproxDetProtocol::kKernelSlowdown, 1.0);
+}
+
+TEST(ApproxDetTest, RunsAndCoversBranches) {
+  ApproxDetProtocol protocol(&TinyModels());
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 100.0, 1};
+  VideoRunStats stats = protocol.RunVideo(video, env);
+  EXPECT_EQ(stats.frames.size(), static_cast<size_t>(video.frame_count()));
+  EXPECT_GE(stats.branches_used.size(), 1u);
+  // Every GoF pays the framework overhead.
+  for (double v : stats.gof_frame_ms) {
+    EXPECT_GE(v, ApproxDetProtocol::kPerFrameOverheadMs);
+  }
+}
+
+TEST(ApproxDetTest, CannotMeetTightSlo) {
+  // The per-frame overhead alone exceeds 50 ms: P95 must violate tight SLOs.
+  ApproxDetProtocol protocol(&TinyModels());
+  EvalConfig config;
+  config.device = DeviceType::kTx2;
+  config.slo_ms = 33.3;
+  EvalResult result = OnlineRunner::Run(protocol, TinyValidation(), config);
+  EXPECT_FALSE(result.MeetsSlo(33.3));
+}
+
+}  // namespace
+}  // namespace litereconfig

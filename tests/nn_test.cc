@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+#include "src/nn/ridge.h"
+#include "src/util/rng.h"
+
+namespace litereconfig {
+namespace {
+
+TEST(MatrixTest, MatMulKnown) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]].
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::XavierUniform(4, 7, 3);
+  Matrix att = a.Transposed().Transposed();
+  EXPECT_EQ(att.data(), a.data());
+}
+
+TEST(MatrixTest, XavierBoundsAndDeterminism) {
+  Matrix a = Matrix::XavierUniform(16, 16, 5);
+  Matrix b = Matrix::XavierUniform(16, 16, 5);
+  EXPECT_EQ(a.data(), b.data());
+  double limit = std::sqrt(6.0 / 32.0);
+  for (double v : a.data()) {
+    EXPECT_LE(std::abs(v), limit);
+  }
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6, 5] -> x = [1, 1].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  std::vector<double> x = CholeskySolve(a, {6, 5}, 0.0);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(CholeskyTest, ThrowsOnIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskySolve(a, {1, 1}, 0.0), std::runtime_error);
+}
+
+TEST(RidgeTest, RecoversLinearFunction) {
+  Pcg32 rng(7);
+  size_t n = 200;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      x(i, j) = rng.Uniform(-2, 2);
+    }
+    y[i] = 2.0 * x(i, 0) - 1.5 * x(i, 1) + 0.5 * x(i, 2) + 4.0;
+  }
+  RidgeRegression model = RidgeRegression::Fit(x, y, 1e-8);
+  EXPECT_NEAR(model.weights()[0], 2.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], -1.5, 1e-6);
+  EXPECT_NEAR(model.weights()[2], 0.5, 1e-6);
+  EXPECT_NEAR(model.bias(), 4.0, 1e-6);
+  EXPECT_NEAR(model.Predict({1.0, 1.0, 1.0}), 5.0, 1e-6);
+}
+
+TEST(RidgeTest, HandlesConstantTarget) {
+  Matrix x(10, 2);
+  Pcg32 rng(9);
+  for (size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.Uniform(0, 1);
+    x(i, 1) = rng.Uniform(0, 1);
+  }
+  std::vector<double> y(10, 3.5);
+  RidgeRegression model = RidgeRegression::Fit(x, y, 1e-6);
+  EXPECT_NEAR(model.Predict({0.5, 0.5}), 3.5, 1e-6);
+}
+
+TEST(RidgeTest, RegularizationShrinksWeights) {
+  Pcg32 rng(11);
+  size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y[i] = 3.0 * x(i, 0) + rng.Normal(0, 0.1);
+  }
+  RidgeRegression weak = RidgeRegression::Fit(x, y, 1e-8);
+  RidgeRegression strong = RidgeRegression::Fit(x, y, 100.0);
+  EXPECT_LT(std::abs(strong.weights()[0]), std::abs(weak.weights()[0]));
+}
+
+TEST(RidgeTest, FromPartsRoundTrip) {
+  RidgeRegression model = RidgeRegression::FromParts({1.0, -2.0}, 0.5);
+  EXPECT_DOUBLE_EQ(model.Predict({2.0, 1.0}), 0.5 + 2.0 - 2.0);
+}
+
+MlpConfig SmallConfig(std::vector<size_t> dims, size_t epochs = 300) {
+  MlpConfig config;
+  config.layer_dims = std::move(dims);
+  config.learning_rate = 0.05;
+  config.epochs = epochs;
+  config.batch_size = 16;
+  config.l2 = 0.0;
+  config.seed = 3;
+  config.early_stop_rel_tol = 0.0;
+  return config;
+}
+
+TEST(MlpTest, LearnsLinearMap) {
+  Pcg32 rng(13);
+  size_t n = 256;
+  Matrix x(n, 2);
+  Matrix y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = 0.7 * x(i, 0) - 0.3 * x(i, 1) + 0.1;
+  }
+  Mlp mlp(SmallConfig({2, 16, 1}));
+  double loss = mlp.Train(x, y);
+  EXPECT_LT(loss, 1e-3);
+  EXPECT_NEAR(mlp.Predict({0.5, 0.5})[0], 0.7 * 0.5 - 0.3 * 0.5 + 0.1, 0.05);
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  // XOR-like: y = 1 if x0*x1 > 0 else 0. Needs a hidden layer.
+  Pcg32 rng(17);
+  size_t n = 512;
+  Matrix x(n, 2);
+  Matrix y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = x(i, 0) * x(i, 1) > 0 ? 1.0 : 0.0;
+  }
+  Mlp mlp(SmallConfig({2, 32, 32, 1}, 400));
+  double loss = mlp.Train(x, y);
+  EXPECT_LT(loss, 0.05);
+  EXPECT_GT(mlp.Predict({0.5, 0.5})[0], 0.7);
+  EXPECT_LT(mlp.Predict({0.5, -0.5})[0], 0.3);
+}
+
+TEST(MlpTest, MultiOutputRegression) {
+  Pcg32 rng(19);
+  size_t n = 200;
+  Matrix x(n, 3);
+  Matrix y(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      x(i, j) = rng.Uniform(-1, 1);
+    }
+    for (size_t o = 0; o < 4; ++o) {
+      y(i, o) = 0.2 * static_cast<double>(o) * x(i, 0) + 0.1 * x(i, 2);
+    }
+  }
+  Mlp mlp(SmallConfig({3, 24, 4}));
+  EXPECT_LT(mlp.Train(x, y), 1e-3);
+}
+
+TEST(MlpTest, DeterministicTraining) {
+  Pcg32 rng(23);
+  Matrix x(64, 2);
+  Matrix y(64, 1);
+  for (size_t i = 0; i < 64; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = x(i, 0);
+  }
+  Mlp a(SmallConfig({2, 8, 1}, 50));
+  Mlp b(SmallConfig({2, 8, 1}, 50));
+  a.Train(x, y);
+  b.Train(x, y);
+  EXPECT_EQ(a.Predict({0.3, -0.2}), b.Predict({0.3, -0.2}));
+}
+
+TEST(MlpTest, EarlyStoppingStops) {
+  MlpConfig config = SmallConfig({2, 8, 1}, 10000);
+  config.early_stop_rel_tol = 1e-3;
+  Matrix x(32, 2);
+  Matrix y(32, 1);
+  Pcg32 rng(29);
+  for (size_t i = 0; i < 32; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = 0.0;  // trivially learnable
+  }
+  Mlp mlp(config);
+  // Must terminate quickly (the test would time out otherwise) and fit well.
+  EXPECT_LT(mlp.Train(x, y), 1e-3);
+}
+
+TEST(MlpTest, ForwardMacsCountsProducts) {
+  Mlp mlp(SmallConfig({4, 8, 2}, 1));
+  EXPECT_EQ(mlp.ForwardMacs(), 4u * 8u + 8u * 2u);
+}
+
+TEST(MlpTest, SetParametersRoundTrip) {
+  MlpConfig config = SmallConfig({2, 4, 1}, 20);
+  Mlp original(config);
+  Matrix x(16, 2);
+  Matrix y(16, 1);
+  Pcg32 rng(31);
+  for (size_t i = 0; i < 16; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = x(i, 0) + x(i, 1);
+  }
+  original.Train(x, y);
+  Mlp copy(config);
+  copy.SetParameters(original.weights(), original.biases());
+  EXPECT_EQ(copy.Predict({0.4, -0.1}), original.Predict({0.4, -0.1}));
+}
+
+TEST(MlpTest, L2ShrinksWeights) {
+  Pcg32 rng(37);
+  Matrix x(128, 2);
+  Matrix y(128, 1);
+  for (size_t i = 0; i < 128; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    y(i, 0) = 5.0 * x(i, 0);
+  }
+  MlpConfig weak_config = SmallConfig({2, 1}, 400);
+  MlpConfig strong_config = weak_config;
+  strong_config.l2 = 0.5;
+  Mlp weak(weak_config);
+  Mlp strong(strong_config);
+  weak.Train(x, y);
+  strong.Train(x, y);
+  double weak_norm = 0.0;
+  double strong_norm = 0.0;
+  for (double v : weak.weights()[0].data()) {
+    weak_norm += v * v;
+  }
+  for (double v : strong.weights()[0].data()) {
+    strong_norm += v * v;
+  }
+  EXPECT_LT(strong_norm, weak_norm);
+}
+
+}  // namespace
+}  // namespace litereconfig

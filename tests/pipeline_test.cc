@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/pipeline/litereconfig_protocol.h"
+#include "src/util/stats.h"
+#include "src/pipeline/runner.h"
+#include "src/pipeline/serialize.h"
+#include "src/pipeline/trainer.h"
+#include "tests/test_support.h"
+
+namespace litereconfig {
+namespace {
+
+TEST(TrainerTest, TinyConfigFingerprintIsStable) {
+  EXPECT_EQ(TrainConfig::Tiny().Fingerprint(), TrainConfig::Tiny().Fingerprint());
+  TrainConfig other = TrainConfig::Tiny();
+  other.epochs += 1;
+  EXPECT_NE(other.Fingerprint(), TrainConfig::Tiny().Fingerprint());
+}
+
+TEST(TrainerTest, BuildSnippetDataShapes) {
+  TrainConfig config = TrainConfig::Tiny();
+  const BranchSpace& space = BranchSpace::Default();
+  Dataset train = BuildDataset(config.train_spec, DatasetSplit::kTrain);
+  std::vector<SnippetData> data =
+      OfflineTrainer::BuildSnippetData(config, space, train);
+  ASSERT_FALSE(data.empty());
+  EXPECT_LE(static_cast<int>(data.size()), config.max_snippets);
+  for (const SnippetData& row : data) {
+    EXPECT_EQ(row.labels.size(), space.size());
+    EXPECT_EQ(row.features.size(), static_cast<size_t>(kNumFeatureKinds));
+    for (double label : row.labels) {
+      EXPECT_GE(label, 0.0);
+      EXPECT_LE(label, 1.0);
+    }
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      EXPECT_EQ(row.features[static_cast<size_t>(k)].size(),
+                static_cast<size_t>(FeatureDimension(static_cast<FeatureKind>(k))));
+    }
+  }
+}
+
+TEST(TrainerTest, ProducesCompleteBundle) {
+  const TrainedModels& models = TinyModels();
+  const BranchSpace& space = BranchSpace::Default();
+  EXPECT_EQ(models.space, &space);
+  EXPECT_EQ(models.accuracy.size(), static_cast<size_t>(kNumFeatureKinds));
+  EXPECT_EQ(models.mean_branch_accuracy.size(), space.size());
+  for (double v : models.mean_branch_accuracy) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(models.latency.branch_count(), space.size());
+  EXPECT_TRUE(models.switching.has_value());
+  // Feature costs were profiled (TX2 zero contention = Table 1 values).
+  EXPECT_NEAR(models.feature_extract_ms[static_cast<size_t>(FeatureKind::kHoc)],
+              14.14, 1e-9);
+  // Ben entries exist for every heavy feature and bucket.
+  EXPECT_EQ(models.ben.entries().size(),
+            5u * BenefitTable::Buckets().size());
+}
+
+TEST(TrainerTest, MeanBranchAccuracyPrefersStrongDetector) {
+  const TrainedModels& models = TinyModels();
+  const BranchSpace& space = BranchSpace::Default();
+  Branch strong;
+  strong.detector = {576, 100};
+  strong.gof = 1;
+  Branch weak;
+  weak.detector = {224, 1};
+  weak.gof = 1;
+  size_t strong_idx = *space.Find(strong);
+  size_t weak_idx = *space.Find(weak);
+  EXPECT_GT(models.mean_branch_accuracy[strong_idx],
+            models.mean_branch_accuracy[weak_idx]);
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+  const TrainedModels& models = TinyModels();
+  std::string path = std::filesystem::temp_directory_path() /
+                     "lrc_serialize_roundtrip.bin";
+  uint64_t fingerprint = TrainConfig::Tiny().Fingerprint();
+  ASSERT_TRUE(SaveTrainedModels(models, fingerprint, path));
+  auto loaded = LoadTrainedModels(path, fingerprint, BranchSpace::Default());
+  ASSERT_TRUE(loaded.has_value());
+
+  std::vector<double> light = {1.0, 1.0, 0.375, 0.2};
+  std::vector<double> pred_a =
+      models.accuracy.at(FeatureKind::kLight).Predict(light, {});
+  std::vector<double> pred_b =
+      loaded->accuracy.at(FeatureKind::kLight).Predict(light, {});
+  EXPECT_EQ(pred_a, pred_b);
+  EXPECT_EQ(loaded->mean_branch_accuracy, models.mean_branch_accuracy);
+  EXPECT_EQ(loaded->device, models.device);
+  for (size_t b = 0; b < models.latency.branch_count(); b += 31) {
+    EXPECT_DOUBLE_EQ(loaded->latency.PredictFrameMs(b, light, 1.0, 1.0),
+                     models.latency.PredictFrameMs(b, light, 1.0, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(loaded->ben.Ben(FeatureKind::kHoc, 33.3),
+                   models.ben.Ben(FeatureKind::kHoc, 33.3));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongFingerprint) {
+  const TrainedModels& models = TinyModels();
+  std::string path = std::filesystem::temp_directory_path() /
+                     "lrc_serialize_fp.bin";
+  ASSERT_TRUE(SaveTrainedModels(models, 111, path));
+  EXPECT_FALSE(LoadTrainedModels(path, 222, BranchSpace::Default()).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMissingAndGarbageFiles) {
+  EXPECT_FALSE(LoadTrainedModels("/nonexistent/file.bin", 1,
+                                 BranchSpace::Default())
+                   .has_value());
+  std::string path = std::filesystem::temp_directory_path() /
+                     "lrc_serialize_garbage.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a model file";
+  }
+  EXPECT_FALSE(LoadTrainedModels(path, 1, BranchSpace::Default()).has_value());
+  std::remove(path.c_str());
+}
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  static RunEnv MakeEnv(const LatencyModel& platform,
+                        const SwitchingCostModel& switching, double slo) {
+    return RunEnv{&platform, &switching, slo, 1};
+  }
+};
+
+TEST_F(ProtocolFixture, LiteReconfigEmitsAllFrames) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "LiteReconfig");
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  VideoRunStats stats = protocol.RunVideo(video, MakeEnv(platform, switching, 50.0));
+  EXPECT_EQ(stats.frames.size(), static_cast<size_t>(video.frame_count()));
+  EXPECT_FALSE(stats.gof_frame_ms.empty());
+  EXPECT_GE(stats.branches_used.size(), 1u);
+  EXPECT_GT(stats.detector_ms, 0.0);
+  EXPECT_GT(stats.scheduler_ms, 0.0);
+}
+
+TEST_F(ProtocolFixture, RunIsDeterministicGivenSalt) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "LiteReconfig");
+  const SyntheticVideo& video = TinyValidation().videos[1];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  protocol.Reset();
+  VideoRunStats a = protocol.RunVideo(video, MakeEnv(platform, switching, 50.0));
+  protocol.Reset();
+  VideoRunStats b = protocol.RunVideo(video, MakeEnv(platform, switching, 50.0));
+  EXPECT_EQ(a.gof_frame_ms, b.gof_frame_ms);
+  EXPECT_EQ(a.switch_count, b.switch_count);
+}
+
+TEST_F(ProtocolFixture, Table4ModeExcludesSchedulerCostFromLatency) {
+  LiteReconfigProtocol charged(
+      &TinyModels(),
+      []() {
+        SchedulerConfig config;
+        config.mode = LiteReconfigMode::kForceFeature;
+        config.forced_feature = FeatureKind::kMobileNetV2;
+        config.charge_feature_overhead = true;
+        return config;
+      }(),
+      "charged");
+  LiteReconfigProtocol uncharged(
+      &TinyModels(),
+      LiteReconfigProtocol::ForcedFeatureConfig(FeatureKind::kMobileNetV2),
+      "uncharged");
+  const SyntheticVideo& video = TinyValidation().videos[2];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  VideoRunStats a = charged.RunVideo(video, MakeEnv(platform, switching, 100.0));
+  VideoRunStats b = uncharged.RunVideo(video, MakeEnv(platform, switching, 100.0));
+  // Scheduler cost is recorded either way...
+  EXPECT_GT(a.scheduler_ms, 0.0);
+  EXPECT_GT(b.scheduler_ms, 0.0);
+  // ...but the per-GoF latency samples include it only when charging is on.
+  // Accounting identity: sum(sample_i * len_i) over the run equals the charged
+  // component totals.
+  auto charged_total = [](const VideoRunStats& stats) {
+    double total = 0.0;
+    for (size_t i = 0; i < stats.gof_frame_ms.size(); ++i) {
+      total += stats.gof_frame_ms[i] * stats.gof_lengths[i];
+    }
+    return total;
+  };
+  EXPECT_NEAR(charged_total(a),
+              a.detector_ms + a.tracker_ms + a.scheduler_ms + a.switch_ms, 1e-6);
+  EXPECT_NEAR(charged_total(b), b.detector_ms + b.tracker_ms + b.switch_ms, 1e-6);
+}
+
+TEST_F(ProtocolFixture, RunnerAggregatesMetrics) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "LiteReconfig");
+  EvalConfig config;
+  config.slo_ms = 100.0;
+  EvalResult result = OnlineRunner::Run(protocol, TinyValidation(), config);
+  EXPECT_GT(result.frames, 0u);
+  EXPECT_GT(result.map, 0.0);
+  EXPECT_LE(result.map, 1.0);
+  EXPECT_GT(result.mean_ms, 0.0);
+  EXPECT_GE(result.p95_ms, result.mean_ms * 0.5);
+  EXPECT_GE(result.violation_rate, 0.0);
+  EXPECT_LE(result.violation_rate, 1.0);
+  double frac_sum = result.detector_frac + result.tracker_frac +
+                    result.scheduler_frac + result.switch_frac;
+  EXPECT_NEAR(frac_sum, 1.0, 1e-9);
+  EXPECT_GE(result.branch_coverage, 1);
+}
+
+TEST_F(ProtocolFixture, VariantConfigsHaveExpectedModes) {
+  EXPECT_EQ(LiteReconfigProtocol::FullConfig().mode, LiteReconfigMode::kFull);
+  EXPECT_EQ(LiteReconfigProtocol::MinCostConfig().mode, LiteReconfigMode::kMinCost);
+  EXPECT_EQ(LiteReconfigProtocol::MaxContentConfig(FeatureKind::kResNet50).mode,
+            LiteReconfigMode::kMaxContentResNet);
+  EXPECT_EQ(LiteReconfigProtocol::MaxContentConfig(FeatureKind::kMobileNetV2).mode,
+            LiteReconfigMode::kMaxContentMobileNet);
+  SchedulerConfig forced =
+      LiteReconfigProtocol::ForcedFeatureConfig(FeatureKind::kHog);
+  EXPECT_EQ(forced.mode, LiteReconfigMode::kForceFeature);
+  EXPECT_EQ(forced.forced_feature, FeatureKind::kHog);
+  EXPECT_FALSE(forced.charge_feature_overhead);
+}
+
+TEST(EvalResultTest, MeetsSloLogic) {
+  EvalResult result;
+  result.p95_ms = 30.0;
+  EXPECT_TRUE(result.MeetsSlo(33.3));
+  result.p95_ms = 40.0;
+  EXPECT_FALSE(result.MeetsSlo(33.3));
+  result.p95_ms = 34.0;
+  EXPECT_TRUE(result.MeetsSlo(33.3));  // within the 10% measurement slack
+  result.oom = true;
+  EXPECT_FALSE(result.MeetsSlo(33.3));
+}
+
+}  // namespace
+}  // namespace litereconfig

@@ -1,0 +1,140 @@
+// Tests for runtime mechanics added on top of the core loop: tail track-only
+// continuation, per-GoF accounting, preheat calibration, and confident-count
+// policies.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/features/light.h"
+#include "src/mbek/kernel.h"
+#include "src/pipeline/litereconfig_protocol.h"
+#include "src/pipeline/runner.h"
+#include "src/pipeline/workbench.h"
+#include "src/util/stats.h"
+#include "tests/test_support.h"
+
+namespace litereconfig {
+namespace {
+
+TEST(CountConfidentTest, CountsAboveThreshold) {
+  DetectionList dets(4);
+  dets[0].score = 0.9;
+  dets[1].score = 0.31;
+  dets[2].score = 0.29;
+  dets[3].score = kConfidentScoreThreshold;
+  EXPECT_EQ(CountConfident(dets), 3);
+  EXPECT_EQ(CountConfident({}), 0);
+}
+
+TEST(TrackOnlyTest, EmitsRequestedFrames) {
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  DetectionList init = FasterRcnnSim::Detect(video, 10, {448, 100});
+  TrackerConfig tracker{TrackerType::kKcf, 2};
+  std::vector<DetectionList> frames =
+      ExecutionKernel::TrackOnly(video, 11, 5, tracker, init);
+  EXPECT_EQ(frames.size(), 5u);
+  // Only confident detections are tracked.
+  for (const DetectionList& frame : frames) {
+    EXPECT_EQ(static_cast<int>(frame.size()), CountConfident(init));
+  }
+}
+
+TEST(TrackOnlyTest, TruncatesAtVideoEnd) {
+  const SyntheticVideo& video = TinyValidation().videos[0];
+  DetectionList init = FasterRcnnSim::Detect(video, 0, {448, 100});
+  TrackerConfig tracker{TrackerType::kMedianFlow, 4};
+  std::vector<DetectionList> frames = ExecutionKernel::TrackOnly(
+      video, video.frame_count() - 3, 100, tracker, init);
+  EXPECT_EQ(frames.size(), 3u);
+  EXPECT_TRUE(
+      ExecutionKernel::TrackOnly(video, video.frame_count(), 5, tracker, init)
+          .empty());
+}
+
+TEST(GofAccountingTest, LengthsSumToFrames) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  const SyntheticVideo& video = TinyValidation().videos[1];
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 50.0, 1};
+  protocol.Reset();
+  VideoRunStats stats = protocol.RunVideo(video, env);
+  ASSERT_EQ(stats.gof_lengths.size(), stats.gof_frame_ms.size());
+  int total = 0;
+  for (int len : stats.gof_lengths) {
+    EXPECT_GT(len, 0);
+    total += len;
+  }
+  EXPECT_EQ(total, static_cast<int>(stats.frames.size()));
+}
+
+TEST(GofAccountingTest, WeightedSamplesMatchComponentTotals) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  const SyntheticVideo& video = TinyValidation().videos[2];
+  LatencyModel platform(DeviceType::kTx2, 0.5);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 50.0, 3};
+  protocol.Reset();
+  VideoRunStats stats = protocol.RunVideo(video, env);
+  double weighted = 0.0;
+  for (size_t i = 0; i < stats.gof_frame_ms.size(); ++i) {
+    weighted += stats.gof_frame_ms[i] * stats.gof_lengths[i];
+  }
+  EXPECT_NEAR(weighted,
+              stats.detector_ms + stats.tracker_ms + stats.scheduler_ms +
+                  stats.switch_ms,
+              1e-6);
+}
+
+TEST(PreheatTest, CalibrationConvergesToContentionFactor) {
+  // Run two videos under 50% contention; by the end of the first the protocol's
+  // choices must reflect the ~1.74x inflation (no SLO violations on video two).
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  LatencyModel platform(DeviceType::kTx2, 0.5);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 50.0, 1};
+  protocol.Reset();
+  protocol.RunVideo(TinyValidation().videos[0], env);
+  VideoRunStats second = protocol.RunVideo(TinyValidation().videos[1], env);
+  int violations = 0;
+  for (double v : second.gof_frame_ms) {
+    if (v > 50.0) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, static_cast<int>(second.gof_frame_ms.size() / 4));
+}
+
+TEST(WorkbenchTest, CacheDirIsCreated) {
+  std::string dir = CacheDir();
+  EXPECT_FALSE(dir.empty());
+  EXPECT_TRUE(std::filesystem::exists(dir));
+}
+
+TEST(TailContinuationTest, NoOversizedTailSamplesAtTightSlo) {
+  // The stream-tail artifact this mechanism removes: with short videos and a
+  // tight SLO, last GoFs must not systematically blow up to detector-scale
+  // latency. One oversized sample is tolerated — a rare switching cold-miss
+  // outlier (paper Figure 5b) can land on any GoF, including the last.
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  LatencyModel platform(DeviceType::kTx2, 0.0);
+  SwitchingCostModel switching(DeviceType::kTx2);
+  RunEnv env{&platform, &switching, 33.3, 1};
+  protocol.Reset();
+  int oversized_tails = 0;
+  for (const SyntheticVideo& video : TinyValidation().videos) {
+    VideoRunStats stats = protocol.RunVideo(video, env);
+    ASSERT_FALSE(stats.gof_frame_ms.empty());
+    if (stats.gof_frame_ms.back() >= 60.0) {
+      ++oversized_tails;
+    }
+  }
+  EXPECT_LE(oversized_tails, 1);
+}
+
+}  // namespace
+}  // namespace litereconfig

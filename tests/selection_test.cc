@@ -1,0 +1,259 @@
+// Precise tests of the cost-benefit feature selection (Eq. 4) and the
+// constrained branch optimizer (Eq. 3) using hand-constructed models: the
+// accuracy nets have zero weights and hand-set output biases, so predictions
+// are exact known constants and every decision can be verified analytically.
+#include <gtest/gtest.h>
+
+#include "src/pipeline/trainer.h"
+#include "src/sched/scheduler.h"
+#include "src/video/dataset.h"
+
+namespace litereconfig {
+namespace {
+
+// Builds a predictor whose output is exactly `per_branch` for any input.
+AccuracyPredictor ConstantPredictor(FeatureKind kind,
+                                    const std::vector<double>& per_branch) {
+  MlpConfig config =
+      AccuracyPredictor::DefaultMlpConfig(kind, per_branch.size(), 8, 1);
+  AccuracyPredictor predictor(kind, config);
+  std::vector<Matrix> weights;
+  std::vector<std::vector<double>> biases;
+  for (size_t l = 0; l + 1 < config.layer_dims.size(); ++l) {
+    weights.emplace_back(config.layer_dims[l + 1], config.layer_dims[l]);
+    biases.emplace_back(config.layer_dims[l + 1], 0.0);
+  }
+  biases.back() = per_branch;
+  predictor.mutable_mlp().SetParameters(std::move(weights), std::move(biases));
+  return predictor;
+}
+
+class SelectionFixture : public ::testing::Test {
+ protected:
+  SelectionFixture() {
+    const BranchSpace& space = BranchSpace::Default();
+    models_.space = &space;
+    models_.device = DeviceType::kTx2;
+    LatencyModel platform(DeviceType::kTx2, 0.0);
+    models_.latency = LatencyPredictor::Profile(space, platform);
+    models_.switching.emplace(DeviceType::kTx2);
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      FeatureKind kind = static_cast<FeatureKind>(k);
+      models_.feature_extract_ms[static_cast<size_t>(k)] =
+          platform.FeatureExtractMs(kind);
+      models_.feature_predict_ms[static_cast<size_t>(k)] =
+          platform.FeaturePredictMs(kind);
+    }
+    // Baseline accuracy: every branch predicts 0.5 under every model.
+    std::vector<double> flat(space.size(), 0.5);
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      models_.accuracy.emplace(static_cast<FeatureKind>(k),
+                               ConstantPredictor(static_cast<FeatureKind>(k), flat));
+    }
+    models_.mean_branch_accuracy = flat;
+    video_.emplace(SyntheticVideo::Generate(
+        VideoSpec{/*seed=*/5, 1280, 720, 60, SceneArchetype::kSparse}));
+  }
+
+  DecisionContext Context(double slo) {
+    DecisionContext ctx;
+    ctx.video = &*video_;
+    ctx.frame = 0;
+    ctx.anchor_detections = &anchor_;
+    ctx.slo_ms = slo;
+    return ctx;
+  }
+
+  TrainedModels models_;
+  std::optional<SyntheticVideo> video_;
+  DetectionList anchor_;
+};
+
+TEST_F(SelectionFixture, NoBenefitMeansNoFeatures) {
+  // All Ben entries are zero (unset): the greedy loop must select nothing.
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(100.0));
+  EXPECT_TRUE(decision.heavy_features.empty());
+}
+
+TEST_F(SelectionFixture, PositiveBenefitSelectsTheFeature) {
+  models_.ben.Set(FeatureKind::kHoc, 100.0, 0.05);
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(100.0));
+  ASSERT_EQ(decision.heavy_features.size(), 1u);
+  EXPECT_EQ(decision.heavy_features[0], FeatureKind::kHoc);
+}
+
+TEST_F(SelectionFixture, PicksTheHighestBenefitFeatureFirst) {
+  models_.ben.Set(FeatureKind::kHoc, 100.0, 0.02);
+  models_.ben.Set(FeatureKind::kResNet50, 100.0, 0.06);
+  SchedulerConfig config;
+  config.max_heavy_features = 1;
+  LiteReconfigScheduler scheduler(&models_, config);
+  SchedulerDecision decision = scheduler.Decide(Context(100.0));
+  ASSERT_EQ(decision.heavy_features.size(), 1u);
+  EXPECT_EQ(decision.heavy_features[0], FeatureKind::kResNet50);
+}
+
+TEST_F(SelectionFixture, RespectsMaxHeavyFeatures) {
+  for (FeatureKind kind : kHeavyFeatures) {
+    models_.ben.Set(kind, 100.0, 0.05);
+  }
+  SchedulerConfig config;
+  config.max_heavy_features = 2;
+  LiteReconfigScheduler scheduler(&models_, config);
+  SchedulerDecision decision = scheduler.Decide(Context(100.0));
+  EXPECT_LE(decision.heavy_features.size(), 2u);
+}
+
+TEST_F(SelectionFixture, FeatureCostThatEvictsTheBestBranchIsRejected) {
+  // Eq. 4's point: the feature's benefit must outweigh what its cost does to
+  // the reachable branches. Make one short-GoF branch clearly the best and
+  // feasible at a 20 ms SLO only when MobileNetV2's ~163 ms per-decision cost
+  // is NOT amortized into its 4-frame GoF; a modest Ben then cannot justify
+  // the feature.
+  const BranchSpace& space = *models_.space;
+  Branch best;
+  best.detector = {224, 1};
+  best.gof = 4;
+  best.has_tracker = true;
+  best.tracker = {TrackerType::kMedianFlow, 4};
+  size_t best_idx = *space.Find(best);
+  std::vector<double> acc(space.size(), 0.5);
+  acc[best_idx] = 0.9;
+  models_.accuracy.erase(FeatureKind::kLight);
+  models_.accuracy.emplace(FeatureKind::kLight,
+                           ConstantPredictor(FeatureKind::kLight, acc));
+  models_.ben.Set(FeatureKind::kMobileNetV2, 20.0, 0.005);
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(20.0));
+  for (FeatureKind kind : decision.heavy_features) {
+    EXPECT_NE(kind, FeatureKind::kMobileNetV2);
+  }
+  EXPECT_EQ(decision.branch_index, best_idx);
+}
+
+TEST_F(SelectionFixture, MinFeatureGainGatesSelection) {
+  models_.ben.Set(FeatureKind::kCpop, 100.0, 0.01);
+  SchedulerConfig strict;
+  strict.min_feature_gain = 0.02;  // benefit below the gate
+  LiteReconfigScheduler gated(&models_, strict);
+  EXPECT_TRUE(gated.Decide(Context(100.0)).heavy_features.empty());
+  SchedulerConfig loose;
+  loose.min_feature_gain = 0.001;
+  LiteReconfigScheduler open(&models_, loose);
+  EXPECT_FALSE(open.Decide(Context(100.0)).heavy_features.empty());
+}
+
+TEST_F(SelectionFixture, OptimizerPicksHighestPredictedFeasibleBranch) {
+  // Make one mid-cost branch clearly the best.
+  const BranchSpace& space = *models_.space;
+  std::vector<double> acc(space.size(), 0.4);
+  Branch target;
+  target.detector = {320, 10};
+  target.gof = 8;
+  target.has_tracker = true;
+  target.tracker = {TrackerType::kKcf, 2};
+  size_t target_idx = *space.Find(target);
+  acc[target_idx] = 0.9;
+  models_.accuracy.erase(FeatureKind::kLight);
+  models_.accuracy.emplace(FeatureKind::kLight,
+                           ConstantPredictor(FeatureKind::kLight, acc));
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(50.0));
+  EXPECT_EQ(decision.branch_index, target_idx);
+  EXPECT_NEAR(decision.predicted_accuracy, 0.9, 1e-9);
+}
+
+TEST_F(SelectionFixture, InfeasibleBestFallsBackToFeasibleRunnerUp) {
+  const BranchSpace& space = *models_.space;
+  std::vector<double> acc(space.size(), 0.4);
+  // Best branch is the heaviest detector-only branch: infeasible at 33 ms.
+  Branch heavy;
+  heavy.detector = {576, 100};
+  heavy.gof = 1;
+  size_t heavy_idx = *space.Find(heavy);
+  acc[heavy_idx] = 0.95;
+  Branch ok;
+  ok.detector = {320, 10};
+  ok.gof = 20;
+  ok.has_tracker = true;
+  ok.tracker = {TrackerType::kMedianFlow, 4};
+  size_t ok_idx = *space.Find(ok);
+  acc[ok_idx] = 0.7;
+  models_.accuracy.erase(FeatureKind::kLight);
+  models_.accuracy.emplace(FeatureKind::kLight,
+                           ConstantPredictor(FeatureKind::kLight, acc));
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(33.3));
+  EXPECT_EQ(decision.branch_index, ok_idx);
+  EXPECT_FALSE(decision.infeasible);
+}
+
+TEST_F(SelectionFixture, SwitchingCostTermCanExcludeAMarginalBranch) {
+  // A branch that fits the budget exactly without the switching term becomes
+  // infeasible when switching from a very light current branch.
+  const BranchSpace& space = *models_.space;
+  Branch current;
+  current.detector = {224, 1};
+  current.gof = 50;
+  current.has_tracker = true;
+  current.tracker = {TrackerType::kMedianFlow, 4};
+  size_t current_idx = *space.Find(current);
+
+  Branch marginal;
+  marginal.detector = {576, 100};
+  marginal.gof = 50;
+  marginal.has_tracker = true;
+  marginal.tracker = {TrackerType::kMedianFlow, 4};
+  size_t marginal_idx = *space.Find(marginal);
+
+  std::vector<double> acc(space.size(), 0.3);
+  acc[marginal_idx] = 0.9;
+  acc[current_idx] = 0.5;
+  models_.accuracy.erase(FeatureKind::kLight);
+  models_.accuracy.emplace(FeatureKind::kLight,
+                           ConstantPredictor(FeatureKind::kLight, acc));
+
+  // Find the SLO at which the marginal branch is just feasible with no switch.
+  // The constraint evaluates the tracker cost at count + 1 (the scheduler's
+  // conservative headroom), so compute the boundary with that same count.
+  std::vector<double> light = {1.0, 1.0, 1.0 / 8.0, 0.0};
+  double s0 = models_.FeatureCostMs(FeatureKind::kLight, 1.0, 1.0);
+  double base_ms = models_.latency.PredictFrameMs(marginal_idx, light, 1.0, 1.0) +
+                   s0 / 50.0;
+  SchedulerConfig config;
+  config.slo_margin = 1.0;
+  config.use_hysteresis = false;
+  LiteReconfigScheduler scheduler(&models_, config);
+
+  DecisionContext fresh = Context(base_ms + 0.01);
+  SchedulerDecision no_switch = scheduler.Decide(fresh);
+  EXPECT_EQ(no_switch.branch_index, marginal_idx);
+
+  DecisionContext switching = Context(base_ms + 0.01);
+  switching.current_branch = current_idx;
+  SchedulerDecision with_switch = scheduler.Decide(switching);
+  // The ~10 ms switch cost amortized over 50 frames (~0.2 ms) breaks the
+  // 0.01 ms slack: the optimizer must not pick the marginal branch.
+  EXPECT_NE(with_switch.branch_index, marginal_idx);
+
+  SchedulerConfig ablated = config;
+  ablated.use_switching_cost = false;
+  LiteReconfigScheduler no_cost_model(&models_, ablated);
+  SchedulerDecision ignoring = no_cost_model.Decide(switching);
+  EXPECT_EQ(ignoring.branch_index, marginal_idx);
+}
+
+TEST_F(SelectionFixture, SchedulerCostReflectsSelectedFeatures) {
+  models_.ben.Set(FeatureKind::kHog, 100.0, 0.05);
+  LiteReconfigScheduler scheduler(&models_, SchedulerConfig{});
+  SchedulerDecision decision = scheduler.Decide(Context(100.0));
+  ASSERT_EQ(decision.heavy_features.size(), 1u);
+  double expected = models_.FeatureCostMs(FeatureKind::kLight, 1.0, 1.0) +
+                    models_.FeatureCostMs(FeatureKind::kHog, 1.0, 1.0);
+  EXPECT_NEAR(decision.scheduler_cost_ms, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace litereconfig

@@ -1,0 +1,32 @@
+// Shared test fixtures: a process-wide tiny trained-model bundle so the
+// scheduler/pipeline/integration tests pay the offline pass once per binary.
+#ifndef TESTS_TEST_SUPPORT_H_
+#define TESTS_TEST_SUPPORT_H_
+
+#include "src/pipeline/trainer.h"
+#include "src/video/dataset.h"
+
+namespace litereconfig {
+
+inline const TrainedModels& TinyModels() {
+  static const TrainedModels* models = new TrainedModels(
+      OfflineTrainer::Train(TrainConfig::Tiny(), BranchSpace::Default()));
+  return *models;
+}
+
+inline const Dataset& TinyValidation() {
+  static const Dataset* dataset = new Dataset(BuildDataset(
+      DatasetSpec{/*base_seed=*/7, /*num_videos=*/4, /*frames_per_video=*/60},
+      DatasetSplit::kVal));
+  return *dataset;
+}
+
+inline const Dataset& TinyTrain() {
+  static const Dataset* dataset = new Dataset(
+      BuildDataset(TrainConfig::Tiny().train_spec, DatasetSplit::kTrain));
+  return *dataset;
+}
+
+}  // namespace litereconfig
+
+#endif  // TESTS_TEST_SUPPORT_H_

@@ -1,0 +1,169 @@
+// Tests for the tool-facing utilities: the flag parser and the decision trace
+// writer/reader round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/pipeline/trace.h"
+#include "src/util/flags.h"
+
+namespace litereconfig {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return argv;
+}
+
+TEST(FlagSetTest, DefaultsApply) {
+  FlagSet flags("test");
+  flags.Define("device", "tx2", "device");
+  flags.Define("slo", "33.3", "objective");
+  auto argv = Argv({});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetString("device"), "tx2");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("slo"), 33.3);
+  EXPECT_FALSE(flags.IsSet("device"));
+}
+
+TEST(FlagSetTest, EqualsAndSpaceSyntax) {
+  FlagSet flags("test");
+  flags.Define("device", "tx2", "device");
+  flags.Define("slo", "33.3", "objective");
+  auto argv = Argv({"--device=xavier", "--slo", "50"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.GetString("device"), "xavier");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("slo"), 50.0);
+  EXPECT_TRUE(flags.IsSet("device"));
+  EXPECT_TRUE(flags.IsSet("slo"));
+}
+
+TEST(FlagSetTest, BooleanFlagWithoutValue) {
+  FlagSet flags("test");
+  flags.Define("verbose", "false", "chatty");
+  auto argv = Argv({"--verbose"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagSetTest, UnknownFlagFails) {
+  FlagSet flags("test");
+  flags.Define("device", "tx2", "device");
+  auto argv = Argv({"--nope=1"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flags.help_requested());
+  EXPECT_NE(flags.error().find("nope"), std::string::npos);
+}
+
+TEST(FlagSetTest, HelpRequested) {
+  FlagSet flags("test");
+  auto argv = Argv({"--help"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagSetTest, MissingValueFails) {
+  FlagSet flags("test");
+  flags.Define("slo", "33.3", "objective");
+  auto argv = Argv({"--slo"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, PositionalArguments) {
+  FlagSet flags("test");
+  flags.Define("top", "5", "top");
+  auto argv = Argv({"trace.jsonl", "--top=3", "extra"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "trace.jsonl");
+  EXPECT_EQ(flags.positional()[1], "extra");
+  EXPECT_EQ(flags.GetInt("top"), 3);
+}
+
+TEST(FlagSetTest, PrintHelpListsFlags) {
+  FlagSet flags("my tool");
+  flags.Define("device", "tx2", "target device");
+  std::ostringstream os;
+  flags.PrintHelp(os);
+  EXPECT_NE(os.str().find("my tool"), std::string::npos);
+  EXPECT_NE(os.str().find("--device"), std::string::npos);
+  EXPECT_NE(os.str().find("target device"), std::string::npos);
+}
+
+DecisionRecord SampleRecord() {
+  DecisionRecord record;
+  record.video_seed = 12345;
+  record.frame = 40;
+  record.branch_id = "s448_n100_g8_kcf_ds2";
+  record.features = {"HoC", "ResNet50"};
+  record.predicted_accuracy = 0.6123;
+  record.predicted_frame_ms = 21.5;
+  record.scheduler_cost_ms = 4.2;
+  record.switch_cost_ms = 6.75;
+  record.actual_frame_ms = 23.875;
+  record.gof_length = 8;
+  record.switched = true;
+  record.infeasible = false;
+  record.gpu_cal = 1.7423;
+  return record;
+}
+
+TEST(TraceTest, WriterEmitsOneLinePerRecord) {
+  std::ostringstream os;
+  TraceWriter writer(os);
+  writer.Write(SampleRecord());
+  writer.Write(SampleRecord());
+  EXPECT_EQ(writer.count(), 2u);
+  std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TraceTest, RoundTripPreservesFields) {
+  std::ostringstream os;
+  TraceWriter writer(os);
+  DecisionRecord original = SampleRecord();
+  writer.Write(original);
+  std::istringstream is(os.str());
+  std::vector<DecisionRecord> records = TraceReader::ReadAll(is);
+  ASSERT_EQ(records.size(), 1u);
+  const DecisionRecord& record = records[0];
+  EXPECT_EQ(record.video_seed, original.video_seed);
+  EXPECT_EQ(record.frame, original.frame);
+  EXPECT_EQ(record.branch_id, original.branch_id);
+  EXPECT_EQ(record.features, original.features);
+  EXPECT_NEAR(record.predicted_accuracy, original.predicted_accuracy, 1e-3);
+  EXPECT_NEAR(record.predicted_frame_ms, original.predicted_frame_ms, 1e-3);
+  EXPECT_NEAR(record.scheduler_cost_ms, original.scheduler_cost_ms, 1e-3);
+  EXPECT_NEAR(record.switch_cost_ms, original.switch_cost_ms, 1e-3);
+  EXPECT_NEAR(record.actual_frame_ms, original.actual_frame_ms, 1e-3);
+  EXPECT_EQ(record.gof_length, original.gof_length);
+  EXPECT_TRUE(record.switched);
+  EXPECT_FALSE(record.infeasible);
+  EXPECT_NEAR(record.gpu_cal, original.gpu_cal, 1e-3);
+}
+
+TEST(TraceTest, EmptyFeaturesRoundTrip) {
+  std::ostringstream os;
+  TraceWriter writer(os);
+  DecisionRecord record = SampleRecord();
+  record.features.clear();
+  writer.Write(record);
+  std::istringstream is(os.str());
+  std::vector<DecisionRecord> records = TraceReader::ReadAll(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].features.empty());
+}
+
+TEST(TraceTest, MalformedLinesAreSkipped) {
+  std::istringstream is("not json\n{\"video\":1}\n");
+  EXPECT_TRUE(TraceReader::ReadAll(is).empty());
+}
+
+TEST(TraceTest, ParseLineRejectsMissingCoreFields) {
+  EXPECT_FALSE(TraceReader::ParseLine("{\"video\":1,\"frame\":2}").has_value());
+}
+
+}  // namespace
+}  // namespace litereconfig

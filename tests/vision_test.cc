@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/vision/box.h"
+#include "src/vision/metrics.h"
+
+namespace litereconfig {
+namespace {
+
+TEST(BoxTest, AreaAndCenter) {
+  Box b{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(b.Area(), 1200.0);
+  EXPECT_DOUBLE_EQ(b.CenterX(), 25.0);
+  EXPECT_DOUBLE_EQ(b.CenterY(), 40.0);
+  EXPECT_FALSE(b.Empty());
+}
+
+TEST(BoxTest, EmptyBoxes) {
+  EXPECT_TRUE((Box{0, 0, 0, 10}).Empty());
+  EXPECT_TRUE((Box{0, 0, 10, -1}).Empty());
+  EXPECT_DOUBLE_EQ((Box{0, 0, -5, 10}).Area(), 0.0);
+}
+
+TEST(BoxTest, FromCenterRoundTrips) {
+  Box b = Box::FromCenter(50, 60, 20, 30);
+  EXPECT_DOUBLE_EQ(b.x, 40.0);
+  EXPECT_DOUBLE_EQ(b.y, 45.0);
+  EXPECT_DOUBLE_EQ(b.CenterX(), 50.0);
+  EXPECT_DOUBLE_EQ(b.CenterY(), 60.0);
+}
+
+TEST(BoxTest, ClippedToFrame) {
+  Box b{-10, -10, 30, 30};
+  Box c = b.ClippedTo(100, 100);
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+  EXPECT_DOUBLE_EQ(c.w, 20.0);
+  EXPECT_DOUBLE_EQ(c.h, 20.0);
+}
+
+TEST(BoxTest, ClippedFullyOutsideIsEmpty) {
+  Box b{200, 200, 10, 10};
+  EXPECT_TRUE(b.ClippedTo(100, 100).Empty());
+}
+
+TEST(IouTest, IdenticalBoxesIsOne) {
+  Box b{10, 10, 20, 20};
+  EXPECT_DOUBLE_EQ(Iou(b, b), 1.0);
+}
+
+TEST(IouTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 10, 10}, Box{20, 20, 10, 10}), 0.0);
+}
+
+TEST(IouTest, KnownOverlap) {
+  // Two 10x10 boxes overlapping in a 5x10 strip: inter 50, union 150.
+  EXPECT_NEAR(Iou(Box{0, 0, 10, 10}, Box{5, 0, 10, 10}), 50.0 / 150.0, 1e-12);
+}
+
+TEST(IouTest, EmptyBoxIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 0, 0}, Box{0, 0, 10, 10}), 0.0);
+}
+
+TEST(IouTest, SymmetricProperty) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Box a{rng.Uniform(0, 50), rng.Uniform(0, 50), rng.Uniform(1, 30),
+          rng.Uniform(1, 30)};
+    Box b{rng.Uniform(0, 50), rng.Uniform(0, 50), rng.Uniform(1, 30),
+          rng.Uniform(1, 30)};
+    EXPECT_NEAR(Iou(a, b), Iou(b, a), 1e-12);
+    double iou = Iou(a, b);
+    EXPECT_GE(iou, 0.0);
+    EXPECT_LE(iou, 1.0);
+  }
+}
+
+TEST(IouTest, ContainmentEqualsAreaRatio) {
+  Box outer{0, 0, 20, 20};
+  Box inner{5, 5, 10, 10};
+  EXPECT_NEAR(Iou(outer, inner), 100.0 / 400.0, 1e-12);
+}
+
+GroundTruthList OneGt(double x, double y, double w, double h, int cls) {
+  GroundTruthBox gt;
+  gt.box = Box{x, y, w, h};
+  gt.class_id = cls;
+  return {gt};
+}
+
+Detection Det(double x, double y, double w, double h, int cls, double score) {
+  Detection d;
+  d.box = Box{x, y, w, h};
+  d.class_id = cls;
+  d.score = score;
+  return d;
+}
+
+TEST(ApEvaluatorTest, PerfectDetectionGivesApOne) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(10, 10, 20, 20, 0), {Det(10, 10, 20, 20, 0, 0.9)});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 1.0);
+  EXPECT_DOUBLE_EQ(eval.MeanAveragePrecision(), 1.0);
+}
+
+TEST(ApEvaluatorTest, MissedDetectionGivesApZero) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(10, 10, 20, 20, 0), {});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.0);
+}
+
+TEST(ApEvaluatorTest, WrongClassIsFalsePositive) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(10, 10, 20, 20, 0), {Det(10, 10, 20, 20, 1, 0.9)});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.0);
+  // Class 1 has no ground truth: it contributes nothing to mAP.
+  EXPECT_DOUBLE_EQ(eval.MeanAveragePrecision(), 0.0);
+  EXPECT_EQ(eval.GroundTruthClasses(), std::vector<int>{0});
+}
+
+TEST(ApEvaluatorTest, LowIouDoesNotMatch) {
+  ApEvaluator eval(0.5);
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0), {Det(8, 8, 10, 10, 0, 0.9)});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.0);
+}
+
+TEST(ApEvaluatorTest, HalfRecall) {
+  ApEvaluator eval;
+  GroundTruthList gts = OneGt(0, 0, 10, 10, 0);
+  GroundTruthBox second;
+  second.box = Box{50, 50, 10, 10};
+  second.class_id = 0;
+  gts.push_back(second);
+  eval.AddFrame(gts, {Det(0, 0, 10, 10, 0, 0.9)});
+  // One of two instances found at precision 1 -> AP = 0.5.
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.5);
+}
+
+TEST(ApEvaluatorTest, FalsePositiveBeforeTruePositiveLowersAp) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0),
+                {Det(50, 50, 10, 10, 0, 0.95), Det(0, 0, 10, 10, 0, 0.9)});
+  // TP arrives second: precision at full recall is 1/2; envelope gives AP 0.5.
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.5);
+}
+
+TEST(ApEvaluatorTest, FalsePositiveAfterTruePositiveKeepsApOne) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0),
+                {Det(0, 0, 10, 10, 0, 0.95), Det(50, 50, 10, 10, 0, 0.5)});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 1.0);
+}
+
+TEST(ApEvaluatorTest, DuplicateDetectionsOnlyOneMatches) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0),
+                {Det(0, 0, 10, 10, 0, 0.95), Det(1, 1, 10, 10, 0, 0.90)});
+  // Second detection is a duplicate -> FP at recall 1. AP stays 1 (envelope).
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 1.0);
+}
+
+TEST(ApEvaluatorTest, MatchesAcrossFramesIndependently) {
+  ApEvaluator eval;
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0), {Det(0, 0, 10, 10, 0, 0.9)});
+  eval.AddFrame(OneGt(0, 0, 10, 10, 0), {});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 0.5);
+  EXPECT_EQ(eval.frame_count(), 2u);
+}
+
+TEST(ApEvaluatorTest, MeanOverClassesWithGroundTruth) {
+  ApEvaluator eval;
+  GroundTruthList gts = OneGt(0, 0, 10, 10, 0);
+  GroundTruthBox other;
+  other.box = Box{30, 30, 10, 10};
+  other.class_id = 5;
+  gts.push_back(other);
+  eval.AddFrame(gts, {Det(0, 0, 10, 10, 0, 0.9)});
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(0), 1.0);
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(5), 0.0);
+  EXPECT_DOUBLE_EQ(eval.MeanAveragePrecision(), 0.5);
+}
+
+TEST(ApEvaluatorTest, ApForUnknownClassIsZero) {
+  ApEvaluator eval;
+  EXPECT_DOUBLE_EQ(eval.AveragePrecision(17), 0.0);
+  EXPECT_DOUBLE_EQ(eval.MeanAveragePrecision(), 0.0);
+}
+
+TEST(MeanAveragePrecisionTest, ConvenienceMatchesEvaluator) {
+  std::vector<GroundTruthList> gts = {OneGt(0, 0, 10, 10, 2)};
+  std::vector<DetectionList> dets = {{Det(0, 0, 10, 10, 2, 0.8)}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(gts, dets), 1.0);
+}
+
+// Property sweep: mAP is monotone non-increasing in added localization error.
+class ApNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApNoiseSweep, NoiseNeverHelps) {
+  double noise = GetParam();
+  Pcg32 rng(101);
+  ApEvaluator clean;
+  ApEvaluator noisy;
+  for (int f = 0; f < 50; ++f) {
+    GroundTruthList gts;
+    DetectionList clean_dets;
+    DetectionList noisy_dets;
+    for (int o = 0; o < 4; ++o) {
+      double x = rng.Uniform(0, 500);
+      double y = rng.Uniform(0, 300);
+      GroundTruthBox gt;
+      gt.box = Box{x, y, 40, 40};
+      gt.class_id = o % 3;
+      gts.push_back(gt);
+      clean_dets.push_back(Det(x, y, 40, 40, o % 3, 0.9));
+      noisy_dets.push_back(Det(x + rng.Normal(0, noise), y + rng.Normal(0, noise),
+                               40, 40, o % 3, 0.9));
+    }
+    clean.AddFrame(gts, clean_dets);
+    noisy.AddFrame(gts, noisy_dets);
+  }
+  EXPECT_LE(noisy.MeanAveragePrecision(), clean.MeanAveragePrecision() + 1e-9);
+  EXPECT_DOUBLE_EQ(clean.MeanAveragePrecision(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, ApNoiseSweep,
+                         ::testing::Values(0.0, 2.0, 5.0, 10.0, 25.0));
+
+}  // namespace
+}  // namespace litereconfig

@@ -1,0 +1,96 @@
+// Summarizes a decision trace produced by litereconfig_run --trace: branch
+// usage histogram, feature usage, switch behaviour, and prediction quality
+// (predicted vs realized latency).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "src/pipeline/trace.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace litereconfig {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags("trace_summary — analyze a decision trace (JSONL).");
+  flags.Define("top", "12", "branches to list in the histogram");
+  if (!flags.Parse(argc, argv) || flags.positional().size() != 1) {
+    flags.PrintHelp(flags.help_requested() ? std::cout : std::cerr);
+    std::cerr << "usage: trace_summary [--top N] <trace.jsonl>\n";
+    return flags.help_requested() ? 0 : 1;
+  }
+  std::ifstream file(flags.positional()[0]);
+  if (!file) {
+    std::cerr << "cannot open " << flags.positional()[0] << "\n";
+    return 1;
+  }
+  std::vector<DecisionRecord> records = TraceReader::ReadAll(file);
+  if (records.empty()) {
+    std::cerr << "no decision records found\n";
+    return 1;
+  }
+
+  std::map<std::string, int> branch_counts;
+  std::map<std::string, int> feature_counts;
+  RunningStat actual;
+  RunningStat prediction_error;
+  int switches = 0;
+  int infeasible = 0;
+  int frames = 0;
+  for (const DecisionRecord& record : records) {
+    branch_counts[record.branch_id] += record.gof_length;
+    for (const std::string& feature : record.features) {
+      ++feature_counts[feature];
+    }
+    actual.Add(record.actual_frame_ms);
+    if (record.predicted_frame_ms > 0.0) {
+      prediction_error.Add((record.actual_frame_ms - record.predicted_frame_ms) /
+                           record.predicted_frame_ms);
+    }
+    switches += record.switched ? 1 : 0;
+    infeasible += record.infeasible ? 1 : 0;
+    frames += record.gof_length;
+  }
+
+  std::cout << records.size() << " decisions over " << frames << " frames; "
+            << switches << " switches, " << infeasible << " infeasible.\n"
+            << "per-frame latency: mean " << FmtDouble(actual.mean(), 2)
+            << " ms, max " << FmtDouble(actual.max(), 2) << " ms\n"
+            << "latency prediction bias: "
+            << FmtDouble(prediction_error.mean() * 100.0, 1) << "% (stddev "
+            << FmtDouble(prediction_error.stddev() * 100.0, 1) << "%)\n\n";
+
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [branch, frame_count] : branch_counts) {
+    ranked.emplace_back(frame_count, branch);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  TablePrinter table({"Branch", "Frames", "Share %"});
+  int top = flags.GetInt("top");
+  for (int i = 0; i < top && i < static_cast<int>(ranked.size()); ++i) {
+    table.AddRow({ranked[static_cast<size_t>(i)].second,
+                  std::to_string(ranked[static_cast<size_t>(i)].first),
+                  FmtDouble(100.0 * ranked[static_cast<size_t>(i)].first / frames, 1)});
+  }
+  table.Print(std::cout);
+
+  if (!feature_counts.empty()) {
+    std::cout << "\nContent features used per decision:\n";
+    for (const auto& [feature, count] : feature_counts) {
+      std::cout << "  " << feature << ": " << count << " ("
+                << FmtDouble(100.0 * count / records.size(), 1) << "% of decisions)\n";
+    }
+  } else {
+    std::cout << "\nNo content features were used (content-agnostic run).\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main(int argc, char** argv) { return litereconfig::Run(argc, argv); }
