@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cls_generalization"
+  "../bench/bench_cls_generalization.pdb"
+  "CMakeFiles/bench_cls_generalization.dir/bench_cls_generalization.cc.o"
+  "CMakeFiles/bench_cls_generalization.dir/bench_cls_generalization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cls_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_feature_costs"
+  "../bench/bench_table1_feature_costs.pdb"
+  "CMakeFiles/bench_table1_feature_costs.dir/bench_table1_feature_costs.cc.o"
+  "CMakeFiles/bench_table1_feature_costs.dir/bench_table1_feature_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_feature_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

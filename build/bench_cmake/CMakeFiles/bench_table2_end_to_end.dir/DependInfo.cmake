@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_end_to_end.cc" "bench_cmake/CMakeFiles/bench_table2_end_to_end.dir/bench_table2_end_to_end.cc.o" "gcc" "bench_cmake/CMakeFiles/bench_table2_end_to_end.dir/bench_table2_end_to_end.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/lrc_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lrc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cls/CMakeFiles/lrc_cls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lrc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/lrc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lrc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbek/CMakeFiles/lrc_mbek.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/lrc_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/det/CMakeFiles/lrc_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lrc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/lrc_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/lrc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_accuracy_optimized"
+  "../bench/bench_table3_accuracy_optimized.pdb"
+  "CMakeFiles/bench_table3_accuracy_optimized.dir/bench_table3_accuracy_optimized.cc.o"
+  "CMakeFiles/bench_table3_accuracy_optimized.dir/bench_table3_accuracy_optimized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_accuracy_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

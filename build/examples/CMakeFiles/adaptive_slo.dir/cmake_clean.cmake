@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_slo.dir/adaptive_slo.cc.o"
+  "CMakeFiles/adaptive_slo.dir/adaptive_slo.cc.o.d"
+  "adaptive_slo"
+  "adaptive_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_spike.dir/contention_spike.cc.o"
+  "CMakeFiles/contention_spike.dir/contention_spike.cc.o.d"
+  "contention_spike"
+  "contention_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

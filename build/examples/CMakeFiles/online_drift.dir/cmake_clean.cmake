@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_drift.dir/online_drift.cc.o"
+  "CMakeFiles/online_drift.dir/online_drift.cc.o.d"
+  "online_drift"
+  "online_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

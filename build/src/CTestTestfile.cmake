@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("video")
+subdirs("vision")
+subdirs("nn")
+subdirs("det")
+subdirs("track")
+subdirs("mbek")
+subdirs("features")
+subdirs("platform")
+subdirs("sched")
+subdirs("cls")
+subdirs("baselines")
+subdirs("pipeline")

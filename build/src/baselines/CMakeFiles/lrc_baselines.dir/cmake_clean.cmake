@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_baselines.dir/approxdet.cc.o"
+  "CMakeFiles/lrc_baselines.dir/approxdet.cc.o.d"
+  "CMakeFiles/lrc_baselines.dir/families.cc.o"
+  "CMakeFiles/lrc_baselines.dir/families.cc.o.d"
+  "CMakeFiles/lrc_baselines.dir/fixed_protocols.cc.o"
+  "CMakeFiles/lrc_baselines.dir/fixed_protocols.cc.o.d"
+  "CMakeFiles/lrc_baselines.dir/knob_protocols.cc.o"
+  "CMakeFiles/lrc_baselines.dir/knob_protocols.cc.o.d"
+  "liblrc_baselines.a"
+  "liblrc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_cls.dir/kernel.cc.o"
+  "CMakeFiles/lrc_cls.dir/kernel.cc.o.d"
+  "CMakeFiles/lrc_cls.dir/scheduler.cc.o"
+  "CMakeFiles/lrc_cls.dir/scheduler.cc.o.d"
+  "CMakeFiles/lrc_cls.dir/task.cc.o"
+  "CMakeFiles/lrc_cls.dir/task.cc.o.d"
+  "liblrc_cls.a"
+  "liblrc_cls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_cls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

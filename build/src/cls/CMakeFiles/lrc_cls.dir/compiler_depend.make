@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lrc_cls.
+# This may be replaced when dependencies are built.

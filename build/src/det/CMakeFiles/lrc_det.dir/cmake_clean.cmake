@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_det.dir/detector.cc.o"
+  "CMakeFiles/lrc_det.dir/detector.cc.o.d"
+  "liblrc_det.a"
+  "liblrc_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

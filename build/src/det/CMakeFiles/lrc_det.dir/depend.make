@@ -1,0 +1,2 @@
+# Empty dependencies file for lrc_det.
+# This may be replaced when dependencies are built.

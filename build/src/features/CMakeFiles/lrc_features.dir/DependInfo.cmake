@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/costs.cc" "src/features/CMakeFiles/lrc_features.dir/costs.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/costs.cc.o.d"
+  "/root/repo/src/features/embedding.cc" "src/features/CMakeFiles/lrc_features.dir/embedding.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/embedding.cc.o.d"
+  "/root/repo/src/features/feature.cc" "src/features/CMakeFiles/lrc_features.dir/feature.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/feature.cc.o.d"
+  "/root/repo/src/features/hashing.cc" "src/features/CMakeFiles/lrc_features.dir/hashing.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/hashing.cc.o.d"
+  "/root/repo/src/features/hoc.cc" "src/features/CMakeFiles/lrc_features.dir/hoc.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/hoc.cc.o.d"
+  "/root/repo/src/features/hog.cc" "src/features/CMakeFiles/lrc_features.dir/hog.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/hog.cc.o.d"
+  "/root/repo/src/features/light.cc" "src/features/CMakeFiles/lrc_features.dir/light.cc.o" "gcc" "src/features/CMakeFiles/lrc_features.dir/light.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/lrc_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/lrc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lrc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_features.dir/costs.cc.o"
+  "CMakeFiles/lrc_features.dir/costs.cc.o.d"
+  "CMakeFiles/lrc_features.dir/embedding.cc.o"
+  "CMakeFiles/lrc_features.dir/embedding.cc.o.d"
+  "CMakeFiles/lrc_features.dir/feature.cc.o"
+  "CMakeFiles/lrc_features.dir/feature.cc.o.d"
+  "CMakeFiles/lrc_features.dir/hashing.cc.o"
+  "CMakeFiles/lrc_features.dir/hashing.cc.o.d"
+  "CMakeFiles/lrc_features.dir/hoc.cc.o"
+  "CMakeFiles/lrc_features.dir/hoc.cc.o.d"
+  "CMakeFiles/lrc_features.dir/hog.cc.o"
+  "CMakeFiles/lrc_features.dir/hog.cc.o.d"
+  "CMakeFiles/lrc_features.dir/light.cc.o"
+  "CMakeFiles/lrc_features.dir/light.cc.o.d"
+  "liblrc_features.a"
+  "liblrc_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

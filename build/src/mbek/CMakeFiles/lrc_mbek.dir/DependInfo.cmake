@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbek/branch.cc" "src/mbek/CMakeFiles/lrc_mbek.dir/branch.cc.o" "gcc" "src/mbek/CMakeFiles/lrc_mbek.dir/branch.cc.o.d"
+  "/root/repo/src/mbek/kernel.cc" "src/mbek/CMakeFiles/lrc_mbek.dir/kernel.cc.o" "gcc" "src/mbek/CMakeFiles/lrc_mbek.dir/kernel.cc.o.d"
+  "/root/repo/src/mbek/pareto.cc" "src/mbek/CMakeFiles/lrc_mbek.dir/pareto.cc.o" "gcc" "src/mbek/CMakeFiles/lrc_mbek.dir/pareto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/det/CMakeFiles/lrc_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/lrc_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/lrc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/lrc_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

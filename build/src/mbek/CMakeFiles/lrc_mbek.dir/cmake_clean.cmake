@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_mbek.dir/branch.cc.o"
+  "CMakeFiles/lrc_mbek.dir/branch.cc.o.d"
+  "CMakeFiles/lrc_mbek.dir/kernel.cc.o"
+  "CMakeFiles/lrc_mbek.dir/kernel.cc.o.d"
+  "CMakeFiles/lrc_mbek.dir/pareto.cc.o"
+  "CMakeFiles/lrc_mbek.dir/pareto.cc.o.d"
+  "liblrc_mbek.a"
+  "liblrc_mbek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_mbek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

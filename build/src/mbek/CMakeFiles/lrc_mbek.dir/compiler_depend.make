@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lrc_mbek.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_nn.dir/matrix.cc.o"
+  "CMakeFiles/lrc_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/lrc_nn.dir/mlp.cc.o"
+  "CMakeFiles/lrc_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/lrc_nn.dir/ridge.cc.o"
+  "CMakeFiles/lrc_nn.dir/ridge.cc.o.d"
+  "liblrc_nn.a"
+  "liblrc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

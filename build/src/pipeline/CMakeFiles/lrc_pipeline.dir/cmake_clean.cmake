@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_pipeline.dir/litereconfig_protocol.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/litereconfig_protocol.cc.o.d"
+  "CMakeFiles/lrc_pipeline.dir/runner.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/runner.cc.o.d"
+  "CMakeFiles/lrc_pipeline.dir/serialize.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/serialize.cc.o.d"
+  "CMakeFiles/lrc_pipeline.dir/trace.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/trace.cc.o.d"
+  "CMakeFiles/lrc_pipeline.dir/trainer.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/trainer.cc.o.d"
+  "CMakeFiles/lrc_pipeline.dir/workbench.cc.o"
+  "CMakeFiles/lrc_pipeline.dir/workbench.cc.o.d"
+  "liblrc_pipeline.a"
+  "liblrc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_platform.dir/device.cc.o"
+  "CMakeFiles/lrc_platform.dir/device.cc.o.d"
+  "CMakeFiles/lrc_platform.dir/latency.cc.o"
+  "CMakeFiles/lrc_platform.dir/latency.cc.o.d"
+  "CMakeFiles/lrc_platform.dir/switching.cc.o"
+  "CMakeFiles/lrc_platform.dir/switching.cc.o.d"
+  "liblrc_platform.a"
+  "liblrc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

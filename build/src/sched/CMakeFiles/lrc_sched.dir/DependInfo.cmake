@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/accuracy_predictor.cc" "src/sched/CMakeFiles/lrc_sched.dir/accuracy_predictor.cc.o" "gcc" "src/sched/CMakeFiles/lrc_sched.dir/accuracy_predictor.cc.o.d"
+  "/root/repo/src/sched/ben_table.cc" "src/sched/CMakeFiles/lrc_sched.dir/ben_table.cc.o" "gcc" "src/sched/CMakeFiles/lrc_sched.dir/ben_table.cc.o.d"
+  "/root/repo/src/sched/drift.cc" "src/sched/CMakeFiles/lrc_sched.dir/drift.cc.o" "gcc" "src/sched/CMakeFiles/lrc_sched.dir/drift.cc.o.d"
+  "/root/repo/src/sched/latency_predictor.cc" "src/sched/CMakeFiles/lrc_sched.dir/latency_predictor.cc.o" "gcc" "src/sched/CMakeFiles/lrc_sched.dir/latency_predictor.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/lrc_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/lrc_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/lrc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lrc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbek/CMakeFiles/lrc_mbek.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lrc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/lrc_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/lrc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/det/CMakeFiles/lrc_det.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/lrc_track.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

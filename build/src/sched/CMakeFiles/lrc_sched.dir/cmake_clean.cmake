@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_sched.dir/accuracy_predictor.cc.o"
+  "CMakeFiles/lrc_sched.dir/accuracy_predictor.cc.o.d"
+  "CMakeFiles/lrc_sched.dir/ben_table.cc.o"
+  "CMakeFiles/lrc_sched.dir/ben_table.cc.o.d"
+  "CMakeFiles/lrc_sched.dir/drift.cc.o"
+  "CMakeFiles/lrc_sched.dir/drift.cc.o.d"
+  "CMakeFiles/lrc_sched.dir/latency_predictor.cc.o"
+  "CMakeFiles/lrc_sched.dir/latency_predictor.cc.o.d"
+  "CMakeFiles/lrc_sched.dir/scheduler.cc.o"
+  "CMakeFiles/lrc_sched.dir/scheduler.cc.o.d"
+  "liblrc_sched.a"
+  "liblrc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

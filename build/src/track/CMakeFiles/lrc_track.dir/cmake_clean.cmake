@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_track.dir/tracker.cc.o"
+  "CMakeFiles/lrc_track.dir/tracker.cc.o.d"
+  "liblrc_track.a"
+  "liblrc_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

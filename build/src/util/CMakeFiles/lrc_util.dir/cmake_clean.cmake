@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_util.dir/flags.cc.o"
+  "CMakeFiles/lrc_util.dir/flags.cc.o.d"
+  "CMakeFiles/lrc_util.dir/rng.cc.o"
+  "CMakeFiles/lrc_util.dir/rng.cc.o.d"
+  "CMakeFiles/lrc_util.dir/stats.cc.o"
+  "CMakeFiles/lrc_util.dir/stats.cc.o.d"
+  "CMakeFiles/lrc_util.dir/strings.cc.o"
+  "CMakeFiles/lrc_util.dir/strings.cc.o.d"
+  "CMakeFiles/lrc_util.dir/table.cc.o"
+  "CMakeFiles/lrc_util.dir/table.cc.o.d"
+  "liblrc_util.a"
+  "liblrc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/classes.cc" "src/video/CMakeFiles/lrc_video.dir/classes.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/classes.cc.o.d"
+  "/root/repo/src/video/dataset.cc" "src/video/CMakeFiles/lrc_video.dir/dataset.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/dataset.cc.o.d"
+  "/root/repo/src/video/latent.cc" "src/video/CMakeFiles/lrc_video.dir/latent.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/latent.cc.o.d"
+  "/root/repo/src/video/raster.cc" "src/video/CMakeFiles/lrc_video.dir/raster.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/raster.cc.o.d"
+  "/root/repo/src/video/scene.cc" "src/video/CMakeFiles/lrc_video.dir/scene.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/scene.cc.o.d"
+  "/root/repo/src/video/synthetic_video.cc" "src/video/CMakeFiles/lrc_video.dir/synthetic_video.cc.o" "gcc" "src/video/CMakeFiles/lrc_video.dir/synthetic_video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/lrc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_video.dir/classes.cc.o"
+  "CMakeFiles/lrc_video.dir/classes.cc.o.d"
+  "CMakeFiles/lrc_video.dir/dataset.cc.o"
+  "CMakeFiles/lrc_video.dir/dataset.cc.o.d"
+  "CMakeFiles/lrc_video.dir/latent.cc.o"
+  "CMakeFiles/lrc_video.dir/latent.cc.o.d"
+  "CMakeFiles/lrc_video.dir/raster.cc.o"
+  "CMakeFiles/lrc_video.dir/raster.cc.o.d"
+  "CMakeFiles/lrc_video.dir/scene.cc.o"
+  "CMakeFiles/lrc_video.dir/scene.cc.o.d"
+  "CMakeFiles/lrc_video.dir/synthetic_video.cc.o"
+  "CMakeFiles/lrc_video.dir/synthetic_video.cc.o.d"
+  "liblrc_video.a"
+  "liblrc_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblrc_video.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_vision.dir/box.cc.o"
+  "CMakeFiles/lrc_vision.dir/box.cc.o.d"
+  "CMakeFiles/lrc_vision.dir/metrics.cc.o"
+  "CMakeFiles/lrc_vision.dir/metrics.cc.o.d"
+  "liblrc_vision.a"
+  "liblrc_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

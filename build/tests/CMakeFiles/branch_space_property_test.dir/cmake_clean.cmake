@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_space_property_test.dir/branch_space_property_test.cc.o"
+  "CMakeFiles/branch_space_property_test.dir/branch_space_property_test.cc.o.d"
+  "branch_space_property_test"
+  "branch_space_property_test.pdb"
+  "branch_space_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_space_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/det_track_test.dir/det_track_test.cc.o"
+  "CMakeFiles/det_track_test.dir/det_track_test.cc.o.d"
+  "det_track_test"
+  "det_track_test.pdb"
+  "det_track_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/det_track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

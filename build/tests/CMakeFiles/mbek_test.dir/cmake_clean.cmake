@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbek_test.dir/mbek_test.cc.o"
+  "CMakeFiles/mbek_test.dir/mbek_test.cc.o.d"
+  "mbek_test"
+  "mbek_test.pdb"
+  "mbek_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbek_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

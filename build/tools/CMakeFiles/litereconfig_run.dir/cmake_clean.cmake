@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litereconfig_run.dir/litereconfig_run.cc.o"
+  "CMakeFiles/litereconfig_run.dir/litereconfig_run.cc.o.d"
+  "litereconfig_run"
+  "litereconfig_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litereconfig_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
