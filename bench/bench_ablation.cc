@@ -38,16 +38,31 @@ void Run() {
     variants.push_back({"- contention calibration", config});
   }
 
-  TablePrinter table({"Contention", "SLO (ms)", "Variant", "mAP (%)", "P95 (ms)",
-                      "Violation %", "Switches"});
+  // The full (contention x SLO x variant) sweep runs as one parallel grid.
+  std::vector<GridCell> cells;
   for (double contention : {0.0, 0.5}) {
     for (double slo : {33.3, 50.0}) {
       for (const Variant& variant : variants) {
-        LiteReconfigProtocol protocol(&wb.models(), variant.config, variant.name);
-        EvalConfig config;
-        config.slo_ms = slo;
-        config.gpu_contention = contention;
-        EvalResult result = OnlineRunner::Run(protocol, wb.validation(), config);
+        GridCell cell;
+        cell.make_protocol = [&wb, variant] {
+          return std::make_unique<LiteReconfigProtocol>(&wb.models(),
+                                                        variant.config, variant.name);
+        };
+        cell.config.slo_ms = slo;
+        cell.config.gpu_contention = contention;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  std::vector<EvalResult> results = RunProtocolGrid(wb.validation(), cells);
+
+  TablePrinter table({"Contention", "SLO (ms)", "Variant", "mAP (%)", "P95 (ms)",
+                      "Violation %", "Switches"});
+  size_t cell_index = 0;
+  for (double contention : {0.0, 0.5}) {
+    for (double slo : {33.3, 50.0}) {
+      for (const Variant& variant : variants) {
+        const EvalResult& result = results[cell_index++];
         table.AddRow({FmtDouble(contention * 100, 0) + "%", FmtDouble(slo, 1),
                       variant.name, FmtDouble(result.map * 100.0, 1),
                       FmtDouble(result.p95_ms, 1),
@@ -66,7 +81,8 @@ void Run() {
 }  // namespace
 }  // namespace litereconfig
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::BenchThreads(argc, argv);
   litereconfig::Run();
   return 0;
 }

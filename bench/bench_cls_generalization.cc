@@ -8,6 +8,7 @@
 
 #include "src/cls/scheduler.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 #include "src/util/table.h"
 
 namespace litereconfig {
@@ -52,7 +53,9 @@ void Run() {
 }  // namespace
 }  // namespace litereconfig
 
-int main() {
+int main(int argc, char** argv) {
+  std::cout << "[bench] evaluation threads: "
+            << litereconfig::ApplyThreadsFlag(argc, argv) << "\n";
   litereconfig::Run();
   return 0;
 }

@@ -2,7 +2,6 @@
 // protocol under {TX2 (33.3/50/100 ms), AGX Xavier (20/33.3/50 ms)} x
 // {0%, 50% GPU contention}. "F" marks a protocol that misses the SLO.
 #include <iostream>
-#include <map>
 
 #include "bench/bench_util.h"
 
@@ -13,6 +12,20 @@ struct DeviceCase {
   DeviceType device;
   std::vector<double> slos;
 };
+
+std::unique_ptr<Protocol> MakeProtocol(const Workbench& wb, DeviceType device,
+                                       const std::string& name, double slo) {
+  if (name == "SSD+" || name == "YOLO+") {
+    LatencyModel profile(device, 0.0);
+    return std::make_unique<StaticKnobProtocol>(
+        name == "SSD+" ? BaselineFamily::kSsd : BaselineFamily::kYolo, name,
+        wb.train(), profile, slo);
+  }
+  if (name == "ApproxDet") {
+    return std::make_unique<ApproxDetProtocol>(&wb.models());
+  }
+  return MakeVariant(&wb.models(), name);
+}
 
 void Run() {
   std::cout << "=== Table 2: end-to-end comparison (mAP % | P95 ms per SLO) ===\n";
@@ -39,29 +52,29 @@ void Run() {
       for (const std::string& variant : VariantNames()) {
         protocol_names.push_back(variant);
       }
+      // The whole (protocol x SLO) block fans out as one grid: every cell
+      // builds its own protocol instance, so cells evaluate concurrently and
+      // the printed table is identical for any thread count.
+      std::vector<GridCell> cells;
+      for (const std::string& name : protocol_names) {
+        for (double slo : device_case.slos) {
+          GridCell cell;
+          cell.make_protocol = [&wb, device = device_case.device, name, slo] {
+            return MakeProtocol(wb, device, name, slo);
+          };
+          cell.config.device = device_case.device;
+          cell.config.gpu_contention = contention;
+          cell.config.slo_ms = slo;
+          cells.push_back(std::move(cell));
+        }
+      }
+      std::vector<EvalResult> results = RunProtocolGrid(wb.validation(), cells);
+      size_t cell_index = 0;
       for (const std::string& name : protocol_names) {
         std::vector<std::string> map_cells;
         std::vector<std::string> lat_cells;
         for (double slo : device_case.slos) {
-          std::unique_ptr<Protocol> protocol;
-          if (name == "SSD+") {
-            LatencyModel profile(device_case.device, 0.0);
-            protocol = std::make_unique<StaticKnobProtocol>(
-                BaselineFamily::kSsd, "SSD+", wb.train(), profile, slo);
-          } else if (name == "YOLO+") {
-            LatencyModel profile(device_case.device, 0.0);
-            protocol = std::make_unique<StaticKnobProtocol>(
-                BaselineFamily::kYolo, "YOLO+", wb.train(), profile, slo);
-          } else if (name == "ApproxDet") {
-            protocol = std::make_unique<ApproxDetProtocol>(&wb.models());
-          } else {
-            protocol = MakeVariant(&wb.models(), name);
-          }
-          EvalConfig config;
-          config.device = device_case.device;
-          config.gpu_contention = contention;
-          config.slo_ms = slo;
-          EvalResult result = OnlineRunner::Run(*protocol, wb.validation(), config);
+          const EvalResult& result = results[cell_index++];
           map_cells.push_back(MapCell(result, slo));
           lat_cells.push_back(LatencyCell(result));
         }
@@ -79,7 +92,8 @@ void Run() {
 }  // namespace
 }  // namespace litereconfig
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::BenchThreads(argc, argv);
   litereconfig::Run();
   return 0;
 }

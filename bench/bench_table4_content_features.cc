@@ -52,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace litereconfig
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::BenchThreads(argc, argv);
   litereconfig::Run();
   return 0;
 }

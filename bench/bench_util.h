@@ -2,6 +2,7 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,8 +15,19 @@
 #include "src/pipeline/workbench.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace litereconfig {
+
+// Applies the shared --threads=N flag and prints the effective thread count, so
+// BENCH_*.json wall-clock trajectories stay comparable across machines (a
+// 4-thread run and a 32-thread run are different experiments). Call first in
+// every bench main.
+inline int BenchThreads(int argc, const char* const* argv) {
+  int threads = ApplyThreadsFlag(argc, argv);
+  std::cout << "[bench] evaluation threads: " << threads << "\n";
+  return threads;
+}
 
 // Formats an mAP cell: "F" when the protocol misses the SLO, "OOM" when it
 // cannot run at all, else the percentage (paper Table 2 convention).

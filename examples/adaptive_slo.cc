@@ -8,10 +8,12 @@
 #include "src/pipeline/workbench.h"
 #include "src/sched/scheduler.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 using namespace litereconfig;
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::ApplyThreadsFlag(argc, argv);  // --threads=N
   const Workbench& wb = Workbench::Get(DeviceType::kTx2);
   const TrainedModels& models = wb.models();
   const BranchSpace& space = *models.space;

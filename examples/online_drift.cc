@@ -13,6 +13,7 @@
 #include "src/sched/scheduler.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 using namespace litereconfig;
 
@@ -46,7 +47,8 @@ class ThrottledPlatform {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::ApplyThreadsFlag(argc, argv);  // --threads=N
   constexpr double kSlo = 50.0;
   const Workbench& wb = Workbench::Get(DeviceType::kTx2);
   // Mutable copy: this run retrains the latency predictor when drift hits.

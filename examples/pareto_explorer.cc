@@ -11,6 +11,7 @@
 #include "src/platform/latency.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 using namespace litereconfig;
 
@@ -55,7 +56,8 @@ void ExploreArchetype(SceneArchetype archetype) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::ApplyThreadsFlag(argc, argv);  // --threads=N
   std::cout << "Profiling the MBEK's accuracy-latency operating points on two "
                "content regimes...\n";
   ExploreArchetype(SceneArchetype::kSlowLarge);

@@ -13,10 +13,12 @@
 #include "src/util/stats.h"
 #include "src/util/strings.h"
 #include "src/vision/metrics.h"
+#include "src/util/thread_pool.h"
 
 using namespace litereconfig;
 
-int main() {
+int main(int argc, char** argv) {
+  litereconfig::ApplyThreadsFlag(argc, argv);  // --threads=N
   // 1. The trained scheduler bundle for the target device.
   const Workbench& wb = Workbench::Get(DeviceType::kTx2);
   const TrainedModels& models = wb.models();

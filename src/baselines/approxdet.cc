@@ -61,7 +61,8 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
   VideoRunStats stats;
   Pcg32 rng(HashKeys({spec.seed, env.run_salt, 0xa99de7ull}));
   DetectionList anchor;
-  double& gpu_cal = gpu_cal_;
+  // Per-video calibration state (see LiteReconfigProtocol::RunVideo).
+  double gpu_cal = 1.0;
   std::optional<size_t> current;
   {
     // Preheat pass (see LiteReconfigProtocol): ApproxDet is contention-aware
@@ -72,9 +73,7 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     double observed = env.platform->Sample(
         env.platform->DetectorMs(probe) * kKernelSlowdown, rng);
     LatencyModel profiled(models_->device, 0.0);
-    double ratio = observed / (profiled.DetectorMs(probe) * kKernelSlowdown);
-    gpu_cal = calibrated_ ? 0.5 * gpu_cal + 0.5 * ratio : ratio;
-    calibrated_ = true;
+    gpu_cal = observed / (profiled.DetectorMs(probe) * kKernelSlowdown);
   }
   int t = 0;
   while (t < video.frame_count()) {

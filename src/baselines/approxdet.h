@@ -32,11 +32,9 @@ class ApproxDetProtocol : public Protocol {
 
   std::string_view name() const override { return "ApproxDet"; }
   double MemoryGb() const override { return 5.0; }
+  // Thread-safe: all runtime state (calibration, current branch, RNG) is local
+  // to the call, seeded from the video seed and run salt.
   VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) override;
-  void Reset() override {
-    gpu_cal_ = 1.0;
-    calibrated_ = false;
-  }
 
  private:
   // Content-agnostic branch choice under the current calibration. Sets
@@ -45,8 +43,6 @@ class ApproxDetProtocol : public Protocol {
                 double slo_ms, int frames_remaining, bool* feasible) const;
 
   const TrainedModels* models_;
-  double gpu_cal_ = 1.0;
-  bool calibrated_ = false;
 };
 
 }  // namespace litereconfig

@@ -54,7 +54,10 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   Pcg32 rng(HashKeys({video.spec().seed, env.run_salt, 0x117e2ull}));
   DetectionList anchor;
   std::optional<size_t> current;
-  double& gpu_cal = gpu_cal_;
+  // Online latency calibration (observed/profiled EWMA). Local to the video:
+  // each stream re-measures contention during its own preheat, which keeps
+  // per-video runs independent (the parallel runner's determinism contract).
+  double gpu_cal = 1.0;
   bool charge_overhead = scheduler_.config().charge_feature_overhead;
   {
     // Preheat pass (paper footnote 6: "all branches and models are loaded and
@@ -67,11 +70,9 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
                                  HashKeys({env.run_salt, 0x94e47ull}));
     double observed = env.platform->Sample(env.platform->DetectorMs(probe), rng);
     LatencyModel profiled(models_->device, 0.0);
-    double ratio = observed / profiled.DetectorMs(probe);
     if (scheduler_.config().use_contention_calibration) {
-      gpu_cal = calibrated_ ? 0.5 * gpu_cal + 0.5 * ratio : ratio;
+      gpu_cal = observed / profiled.DetectorMs(probe);
     }
-    calibrated_ = true;
   }
   int t = 0;
   while (t < video.frame_count()) {

@@ -23,11 +23,9 @@ class LiteReconfigProtocol : public Protocol {
 
   std::string_view name() const override { return name_; }
   double MemoryGb() const override { return 4.1; }
+  // Thread-safe: all runtime state (calibration, current branch, RNG) is local
+  // to the call, seeded from the video seed and run salt.
   VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) override;
-  void Reset() override {
-    gpu_cal_ = 1.0;
-    calibrated_ = false;
-  }
 
   const LiteReconfigScheduler& scheduler() const { return scheduler_; }
 
@@ -46,13 +44,6 @@ class LiteReconfigProtocol : public Protocol {
   LiteReconfigScheduler scheduler_;
   std::string name_;
   TraceWriter* trace_ = nullptr;
-  // Online latency calibration (observed/profiled EWMA); persists across the
-  // videos of a run so contention learned on one stream carries to the next.
-  double gpu_cal_ = 1.0;
-  // Whether the warmup probe ran (paper Section 3.5 footnote: all branches are
-  // loaded and preheated before the measured run; the preheat run doubles as
-  // the initial contention measurement).
-  bool calibrated_ = false;
 };
 
 }  // namespace litereconfig

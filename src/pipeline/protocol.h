@@ -64,11 +64,16 @@ class Protocol {
   // fail with oom (paper Table 3).
   virtual double MemoryGb() const = 0;
 
+  // Runs one video stream. Each video is an independent stream: all runtime
+  // state (RNG substreams, contention calibration, current branch) must live in
+  // locals keyed off the video seed and env.run_salt, never in members — the
+  // parallel evaluation engine calls RunVideo concurrently on one instance, and
+  // per-video independence is what keeps results identical across thread
+  // counts.
   virtual VideoRunStats RunVideo(const SyntheticVideo& video, const RunEnv& env) = 0;
 
-  // Clears any cross-video runtime state (e.g. the contention calibration).
-  // The runner calls this once at the start of each evaluation run; state then
-  // persists across the videos of that run, as it would on a live stream.
+  // Clears any cross-run state. The runner calls this once at the start of
+  // each evaluation run, before the per-video fan-out.
   virtual void Reset() {}
 };
 

@@ -1,6 +1,7 @@
 #include "src/pipeline/runner.h"
 
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 #include "src/vision/metrics.h"
 
 namespace litereconfig {
@@ -20,6 +21,33 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   env.run_salt = config.run_salt;
 
   protocol.Reset();
+
+  // Fan out: each video runs on a worker and accumulates its own AP evaluator,
+  // so the expensive matching work parallelizes too. All shared inputs
+  // (protocol, platform, switching, videos) are only read here — per-video
+  // state lives inside RunVideo.
+  const std::vector<SyntheticVideo>& videos = validation.videos;
+  struct PerVideo {
+    VideoRunStats stats;
+    ApEvaluator eval;
+  };
+  std::vector<PerVideo> per_video(videos.size());
+  ThreadPool::Shared().ParallelFor(
+      videos.size(),
+      [&](size_t i) {
+        PerVideo& pv = per_video[i];
+        pv.stats = protocol.RunVideo(videos[i], env);
+        if (pv.stats.oom) {
+          return;
+        }
+        for (size_t t = 0; t < pv.stats.frames.size(); ++t) {
+          pv.eval.AddFrame(videos[i].frame(static_cast<int>(t)).VisibleGroundTruth(),
+                           pv.stats.frames[t]);
+        }
+      },
+      ResolveThreadCount(config.threads));
+
+  // Merge in video order — bitwise identical to a sequential walk.
   EvalResult result;
   ApEvaluator evaluator;
   std::set<std::string> branches;
@@ -27,16 +55,13 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   double tracker_ms = 0.0;
   double scheduler_ms = 0.0;
   double switch_ms = 0.0;
-  for (const SyntheticVideo& video : validation.videos) {
-    VideoRunStats stats = protocol.RunVideo(video, env);
+  for (PerVideo& pv : per_video) {
+    const VideoRunStats& stats = pv.stats;
     if (stats.oom) {
       result.oom = true;
       return result;
     }
-    for (size_t t = 0; t < stats.frames.size(); ++t) {
-      evaluator.AddFrame(video.frame(static_cast<int>(t)).VisibleGroundTruth(),
-                         stats.frames[t]);
-    }
+    evaluator.Merge(pv.eval);
     result.frames += stats.frames.size();
     result.gof_frame_ms.insert(result.gof_frame_ms.end(), stats.gof_frame_ms.begin(),
                                stats.gof_frame_ms.end());

@@ -19,6 +19,10 @@ struct EvalConfig {
   double gpu_contention = 0.0;
   double slo_ms = 33.3;
   uint64_t run_salt = 1;
+  // Worker threads for the per-video fan-out; <= 0 resolves to the process
+  // default (see src/util/thread_pool.h). Results are identical for every
+  // value: videos are evaluated independently and merged in video order.
+  int threads = 0;
 };
 
 struct EvalResult {
@@ -47,6 +51,11 @@ struct EvalResult {
 
 class OnlineRunner {
  public:
+  // Evaluates the protocol on every validation video. Videos are independent
+  // streams (the protocol's RunVideo must be safe to call concurrently; see
+  // Protocol); they are fanned out across config.threads workers and the
+  // per-video stats/AP accumulations are merged in video order, so the result
+  // is field-for-field identical whatever the thread count.
   static EvalResult Run(Protocol& protocol, const Dataset& validation,
                         const EvalConfig& config);
 };

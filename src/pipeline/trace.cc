@@ -50,7 +50,8 @@ void TraceWriter::Write(const DecisionRecord& record) {
   for (const std::string& feature : record.features) {
     quoted.push_back("\"" + feature + "\"");
   }
-  os_ << "{\"video\":" << record.video_seed << ",\"frame\":" << record.frame
+  std::ostringstream line;
+  line << "{\"video\":" << record.video_seed << ",\"frame\":" << record.frame
       << ",\"branch\":\"" << record.branch_id << "\""
       << ",\"features\":[" << Join(quoted, ",") << "]"
       << ",\"pred_acc\":" << FmtDouble(record.predicted_accuracy, 4)
@@ -62,6 +63,8 @@ void TraceWriter::Write(const DecisionRecord& record) {
       << ",\"switched\":" << (record.switched ? "true" : "false")
       << ",\"infeasible\":" << (record.infeasible ? "true" : "false")
       << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4) << "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  os_ << line.str();
   ++count_;
 }
 

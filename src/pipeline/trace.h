@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -36,11 +37,19 @@ class TraceWriter {
  public:
   explicit TraceWriter(std::ostream& os) : os_(os) {}
 
+  // Thread-safe: each record is formatted off-lock and emitted as one line, so
+  // concurrent per-video runs never interleave within a record. Record *order*
+  // across videos follows completion order; run with threads=1 when a
+  // deterministic trace ordering is required.
   void Write(const DecisionRecord& record);
-  size_t count() const { return count_; }
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
 
  private:
   std::ostream& os_;
+  mutable std::mutex mu_;
   size_t count_ = 0;
 };
 

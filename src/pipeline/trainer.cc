@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
+#include <optional>
+#include <utility>
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
@@ -10,6 +13,7 @@
 #include "src/pipeline/runner.h"
 #include "src/platform/latency.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace litereconfig {
 
@@ -42,7 +46,9 @@ uint64_t TrainConfig::Fingerprint() const {
                    static_cast<uint64_t>(hidden_width), static_cast<uint64_t>(epochs),
                    static_cast<uint64_t>(device),
                    static_cast<uint64_t>(holdout_fraction * 1000.0), label_salt,
-                   /*format version=*/3ull});
+                   // v4: per-video contention calibration changed the Ben
+                   // tabulation, so older cached bundles are stale.
+                   /*format version=*/4ull});
 }
 
 std::vector<SnippetData> OfflineTrainer::BuildSnippetData(const TrainConfig& config,
@@ -59,9 +65,12 @@ std::vector<SnippetData> OfflineTrainer::BuildSnippetData(const TrainConfig& con
     }
     snippets = std::move(kept);
   }
-  std::vector<SnippetData> data;
-  data.reserve(snippets.size());
-  for (const SnippetRef& snippet : snippets) {
+  // Snippets are independent (labels and features derive only from the snippet
+  // and the label salt), so the profiling pass fans out across workers; each
+  // row is written into its index slot, keeping the output order deterministic.
+  std::vector<SnippetData> data(snippets.size());
+  ThreadPool::Shared().ParallelFor(snippets.size(), [&](size_t i) {
+    const SnippetRef& snippet = snippets[i];
     SnippetData row;
     // Per-branch accuracy labels, averaged over two independent kernel runs to
     // halve the label noise the nets would otherwise fit.
@@ -82,8 +91,8 @@ std::vector<SnippetData> OfflineTrainer::BuildSnippetData(const TrainConfig& con
       row.features[static_cast<size_t>(k)] = ExtractFeature(
           static_cast<FeatureKind>(k), *snippet.video, snippet.start, anchor);
     }
-    data.push_back(std::move(row));
-  }
+    data[i] = std::move(row);
+  });
   return data;
 }
 
@@ -136,29 +145,38 @@ TrainedModels OfflineTrainer::Train(const TrainConfig& config,
   }
 
   // One accuracy predictor per feature kind (kLight = content-agnostic model).
+  // The per-kind trainings are independent; train them concurrently and emplace
+  // the results in kind order afterwards.
+  std::vector<std::optional<AccuracyPredictor>> trained =
+      ThreadPool::Shared().ParallelMap(
+          static_cast<size_t>(kNumFeatureKinds),
+          [&](size_t k) -> std::optional<AccuracyPredictor> {
+            FeatureKind kind = static_cast<FeatureKind>(k);
+            MlpConfig mlp_config = AccuracyPredictor::DefaultMlpConfig(
+                kind, space.size(), config.hidden_width, config.epochs);
+            AccuracyPredictor predictor(kind, mlp_config);
+            Matrix x(fit_n, mlp_config.layer_dims.front());
+            Matrix y(fit_n, space.size());
+            for (size_t i = 0; i < fit_n; ++i) {
+              const SnippetData& row = data[i];
+              std::vector<double> input = predictor.BuildInput(
+                  row.features[static_cast<size_t>(FeatureKind::kLight)],
+                  kind == FeatureKind::kLight
+                      ? std::vector<double>{}
+                      : row.features[static_cast<size_t>(kind)]);
+              for (size_t j = 0; j < input.size(); ++j) {
+                x(i, j) = input[j];
+              }
+              for (size_t b = 0; b < space.size(); ++b) {
+                y(i, b) = row.labels[b];
+              }
+            }
+            predictor.Train(x, y);
+            return predictor;
+          });
   for (int k = 0; k < kNumFeatureKinds; ++k) {
-    FeatureKind kind = static_cast<FeatureKind>(k);
-    MlpConfig mlp_config = AccuracyPredictor::DefaultMlpConfig(
-        kind, space.size(), config.hidden_width, config.epochs);
-    AccuracyPredictor predictor(kind, mlp_config);
-    Matrix x(fit_n, mlp_config.layer_dims.front());
-    Matrix y(fit_n, space.size());
-    for (size_t i = 0; i < fit_n; ++i) {
-      const SnippetData& row = data[i];
-      std::vector<double> input = predictor.BuildInput(
-          row.features[static_cast<size_t>(FeatureKind::kLight)],
-          kind == FeatureKind::kLight
-              ? std::vector<double>{}
-              : row.features[static_cast<size_t>(kind)]);
-      for (size_t j = 0; j < input.size(); ++j) {
-        x(i, j) = input[j];
-      }
-      for (size_t b = 0; b < space.size(); ++b) {
-        y(i, b) = row.labels[b];
-      }
-    }
-    predictor.Train(x, y);
-    models.accuracy.emplace(kind, std::move(predictor));
+    models.accuracy.emplace(static_cast<FeatureKind>(k),
+                            std::move(*trained[static_cast<size_t>(k)]));
   }
 
   // Ben(F) tabulation: the realized end-to-end mAP improvement on the held-out
@@ -173,15 +191,31 @@ TrainedModels OfflineTrainer::Train(const TrainConfig& config,
     eval.run_salt = HashKeys({config.label_salt, 0xbe4ull});
     return OnlineRunner::Run(protocol, ben_holdout, eval).map;
   };
-  for (double bucket : BenefitTable::Buckets()) {
-    SchedulerConfig light_config;
-    light_config.mode = LiteReconfigMode::kMinCost;
-    light_config.charge_feature_overhead = false;
-    double light_map = holdout_map(light_config, bucket);
-    for (FeatureKind kind : kHeavyFeatures) {
-      double with_map =
-          holdout_map(LiteReconfigProtocol::ForcedFeatureConfig(kind), bucket);
-      models.ben.Set(kind, bucket, with_map - light_map);
+  // Every (bucket, scheduler-config) holdout evaluation is independent; flatten
+  // the grid and fan it out. Per bucket, slot 0 is the light-only baseline and
+  // slots 1.. are the forced heavy features.
+  const std::vector<double>& buckets = BenefitTable::Buckets();
+  constexpr size_t kNumHeavy = std::size(kHeavyFeatures);
+  const size_t stride = 1 + kNumHeavy;
+  std::vector<double> grid_maps = ThreadPool::Shared().ParallelMap(
+      buckets.size() * stride, [&](size_t idx) {
+        double bucket = buckets[idx / stride];
+        size_t slot = idx % stride;
+        if (slot == 0) {
+          SchedulerConfig light_config;
+          light_config.mode = LiteReconfigMode::kMinCost;
+          light_config.charge_feature_overhead = false;
+          return holdout_map(light_config, bucket);
+        }
+        return holdout_map(
+            LiteReconfigProtocol::ForcedFeatureConfig(kHeavyFeatures[slot - 1]),
+            bucket);
+      });
+  for (size_t bi = 0; bi < buckets.size(); ++bi) {
+    double light_map = grid_maps[bi * stride];
+    for (size_t f = 0; f < kNumHeavy; ++f) {
+      models.ben.Set(kHeavyFeatures[f], buckets[bi],
+                     grid_maps[bi * stride + 1 + f] - light_map);
     }
   }
   return models;

@@ -8,8 +8,24 @@
 
 #include "src/pipeline/serialize.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace litereconfig {
+
+std::vector<EvalResult> RunProtocolGrid(const Dataset& validation,
+                                        const std::vector<GridCell>& cells,
+                                        int threads) {
+  return ThreadPool::Shared().ParallelMap(
+      cells.size(),
+      [&](size_t i) {
+        std::unique_ptr<Protocol> protocol = cells[i].make_protocol();
+        if (protocol == nullptr) {
+          return EvalResult{};
+        }
+        return OnlineRunner::Run(*protocol, validation, cells[i].config);
+      },
+      ResolveThreadCount(threads));
+}
 
 std::string CacheDir() {
   const char* env = std::getenv("LITERECONFIG_CACHE_DIR");

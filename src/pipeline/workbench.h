@@ -7,13 +7,33 @@
 #ifndef SRC_PIPELINE_WORKBENCH_H_
 #define SRC_PIPELINE_WORKBENCH_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/pipeline/runner.h"
 #include "src/pipeline/trainer.h"
 #include "src/video/dataset.h"
 
 namespace litereconfig {
+
+// One cell of a protocol evaluation grid: a factory (each cell builds its own
+// protocol instance, so cells never share mutable state) plus the evaluation
+// configuration to run it under.
+struct GridCell {
+  std::function<std::unique_ptr<Protocol>()> make_protocol;
+  EvalConfig config;
+};
+
+// Evaluates every cell against `validation`, fanning the cells out across
+// `threads` workers (<= 0: the process default). Results are returned in cell
+// order and are identical for every thread count: each cell is one
+// OnlineRunner::Run, itself deterministic. Cells whose factory returns null
+// yield a default (oom=false, zero) result.
+std::vector<EvalResult> RunProtocolGrid(const Dataset& validation,
+                                        const std::vector<GridCell>& cells,
+                                        int threads = 0);
 
 class Workbench {
  public:

@@ -21,6 +21,25 @@ void ApEvaluator::AddFrame(const GroundTruthList& ground_truth,
   }
 }
 
+void ApEvaluator::Merge(const ApEvaluator& other) {
+  assert(iou_threshold_ == other.iou_threshold_);
+  size_t offset = frame_count_;
+  frame_count_ += other.frame_count_;
+  for (const auto& [class_id, other_data] : other.classes_) {
+    ClassData& data = classes_[class_id];
+    // Detection order per class stays (video order, then score-ranked later by
+    // a stable sort), so ties resolve exactly as in sequential accumulation.
+    for (const ScoredDetection& det : other_data.detections) {
+      data.detections.push_back({det.score, det.frame + offset, det.box});
+    }
+    for (const auto& [frame, boxes] : other_data.ground_truth) {
+      std::vector<Box>& merged = data.ground_truth[frame + offset];
+      merged.insert(merged.end(), boxes.begin(), boxes.end());
+    }
+    data.total_ground_truth += other_data.total_ground_truth;
+  }
+}
+
 double ApEvaluator::AveragePrecision(int class_id) const {
   auto it = classes_.find(class_id);
   if (it == classes_.end() || it->second.total_ground_truth == 0) {

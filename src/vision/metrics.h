@@ -24,6 +24,13 @@ class ApEvaluator {
   // frame; frames are independent for matching purposes.
   void AddFrame(const GroundTruthList& ground_truth, const DetectionList& detections);
 
+  // Appends another evaluator's frames after this one's, as if other's AddFrame
+  // calls had been replayed here in order. Merging per-video evaluators in video
+  // order therefore reproduces the sequential single-evaluator accumulation
+  // bit-for-bit — the parallel evaluation engine relies on this. Both
+  // evaluators must use the same IoU threshold.
+  void Merge(const ApEvaluator& other);
+
   // AP for one class; 0 if the class never appears in the ground truth.
   double AveragePrecision(int class_id) const;
 

@@ -14,6 +14,7 @@
 #include "src/pipeline/workbench.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace litereconfig {
 namespace {
@@ -31,6 +32,10 @@ int Run(int argc, char** argv) {
   flags.Define("videos", "0",
                "validation videos to run (0 = the full default validation set)");
   flags.Define("run_salt", "1", "seed distinguishing independent online runs");
+  flags.Define("threads", "0",
+               "worker threads for the per-video fan-out (0 = all cores); "
+               "results are identical for every value. --trace forces 1 so "
+               "trace record order stays deterministic");
   flags.Define("csv", "", "write per-GoF amortized latency samples to this CSV");
   flags.Define("trace", "",
                "write the decision trace (JSONL) here; LiteReconfig variants only");
@@ -94,6 +99,10 @@ int Run(int argc, char** argv) {
   config.gpu_contention = contention;
   config.slo_ms = slo;
   config.run_salt = static_cast<uint64_t>(flags.GetInt("run_salt"));
+  config.threads = flags.GetInt("threads");
+  if (trace != nullptr) {
+    config.threads = 1;
+  }
   EvalResult result = OnlineRunner::Run(*protocol, validation, config);
 
   if (result.oom) {
