@@ -1,0 +1,129 @@
+// Robustness under injected faults: LiteReconfig with graceful degradation
+// (watchdog + retry/backoff + coast mode + cheapest-branch fallback) against
+// the same runtime with degradation disabled, ApproxDet, and SSD+, across the
+// none/mild/moderate/severe fault schedules on TX2 at the 33.3 ms SLO.
+//
+// Acceptance gate (exit status): with degradation on, LiteReconfig must
+// (a) never abort a stream — every video emits all its frames — and
+// (b) miss strictly fewer deadlines than the degradation-off runtime under the
+// moderate and severe schedules.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/platform/faults.h"
+
+namespace litereconfig {
+namespace {
+
+constexpr double kSloMs = 33.3;
+constexpr uint64_t kFaultSeed = 17;
+
+struct ProtocolCase {
+  std::string name;
+  bool degrade = true;
+};
+
+std::unique_ptr<Protocol> MakeProtocol(const Workbench& wb,
+                                       const std::string& name) {
+  if (name == "SSD+") {
+    LatencyModel profile(DeviceType::kTx2, 0.0);
+    return std::make_unique<StaticKnobProtocol>(BaselineFamily::kSsd, name,
+                                                wb.train(), profile, kSloMs);
+  }
+  if (name == "ApproxDet") {
+    return std::make_unique<ApproxDetProtocol>(&wb.models());
+  }
+  return std::make_unique<LiteReconfigProtocol>(
+      &wb.models(), LiteReconfigProtocol::FullConfig(), name);
+}
+
+int Run(int argc, char** argv) {
+  BenchThreads(argc, argv);
+  const Workbench& wb = Workbench::Get(DeviceType::kTx2);
+  size_t total_frames = 0;
+  for (const SyntheticVideo& video : wb.validation().videos) {
+    total_frames += static_cast<size_t>(video.frame_count());
+  }
+  const std::vector<std::string> schedules = {"none", "mild", "moderate",
+                                              "severe"};
+  const std::vector<ProtocolCase> protocols = {
+      {"LiteReconfig", /*degrade=*/true},
+      {"LiteReconfig-NoDegrade", /*degrade=*/false},
+      {"ApproxDet", /*degrade=*/true},
+      {"SSD+", /*degrade=*/true},
+  };
+
+  std::cout << "=== Robustness: fault injection on TX2, SLO "
+            << FmtDouble(kSloMs, 1) << " ms (fault seed " << kFaultSeed
+            << ") ===\n";
+  std::vector<GridCell> cells;
+  for (const std::string& schedule : schedules) {
+    FaultSpec spec = *FaultSpec::FromName(schedule);
+    for (const ProtocolCase& pc : protocols) {
+      GridCell cell;
+      std::string protocol_name =
+          pc.name == "LiteReconfig-NoDegrade" ? "LiteReconfig" : pc.name;
+      cell.make_protocol = [&wb, protocol_name] {
+        return MakeProtocol(wb, protocol_name);
+      };
+      cell.config.device = DeviceType::kTx2;
+      cell.config.slo_ms = kSloMs;
+      cell.config.faults = spec;
+      cell.config.fault_seed = kFaultSeed;
+      cell.config.degrade = pc.degrade;
+      cells.push_back(std::move(cell));
+    }
+  }
+  std::vector<EvalResult> results = RunProtocolGrid(wb.validation(), cells);
+
+  bool gate_ok = true;
+  size_t cell_index = 0;
+  for (const std::string& schedule : schedules) {
+    std::cout << "\n--- fault schedule: " << schedule << " ---\n";
+    TablePrinter table({"Protocol", "mAP (%)", "P95 (ms)", "Misses", "Injected",
+                        "Absorbed", "Degraded", "Recovery (GoFs)"});
+    int degrade_misses = -1;
+    int naive_misses = -1;
+    for (const ProtocolCase& pc : protocols) {
+      const EvalResult& result = results[cell_index++];
+      table.AddRow({pc.name, MapCell(result, kSloMs), LatencyCell(result),
+                    std::to_string(result.deadline_misses),
+                    std::to_string(result.faults_injected),
+                    std::to_string(result.faults_absorbed),
+                    std::to_string(result.degraded_frames),
+                    FmtDouble(result.mean_recovery_gofs, 2)});
+      if (pc.name == "LiteReconfig") {
+        degrade_misses = result.deadline_misses;
+        if (result.frames != total_frames) {
+          std::cout << "GATE FAIL: LiteReconfig emitted " << result.frames
+                    << " of " << total_frames << " frames under '" << schedule
+                    << "'\n";
+          gate_ok = false;
+        }
+      } else if (pc.name == "LiteReconfig-NoDegrade") {
+        naive_misses = result.deadline_misses;
+      }
+    }
+    table.Print(std::cout);
+    if (schedule == "moderate" || schedule == "severe") {
+      if (degrade_misses >= naive_misses) {
+        std::cout << "GATE FAIL: degradation on missed " << degrade_misses
+                  << " deadlines vs " << naive_misses << " off under '"
+                  << schedule << "'\n";
+        gate_ok = false;
+      } else {
+        std::cout << "gate: degradation on missed " << degrade_misses
+                  << " deadlines vs " << naive_misses << " off ("
+                  << schedule << ")\n";
+      }
+    }
+  }
+  std::cout << "\nrobustness gate: " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  return gate_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main(int argc, char** argv) { return litereconfig::Run(argc, argv); }

@@ -64,6 +64,12 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
   // Per-video calibration state (see LiteReconfigProtocol::RunVideo).
   double gpu_cal = 1.0;
   std::optional<size_t> current;
+  // Per-stream platform copy so fault-driven contention bursts stay local to
+  // this video (see LiteReconfigProtocol::RunVideo).
+  LatencyModel platform_local = *env.platform;
+  const LatencyModel* platform = &platform_local;
+  FaultRuntime faults(env.faults, spec.seed, video.frame_count(), env.fault_seed,
+                      env.degrade, env.platform->contention().level());
   {
     // Preheat pass (see LiteReconfigProtocol): ApproxDet is contention-aware
     // too, through the same observe-and-calibrate mechanism.
@@ -77,10 +83,22 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
   }
   int t = 0;
   while (t < video.frame_count()) {
+    faults.BeginGof(t);
+    if (faults.active()) {
+      platform_local.set_contention_level(faults.ContentionAt(t));
+    }
     std::vector<double> light = ComputeLightFeatures(spec.width, spec.height, anchor);
     bool feasible = true;
-    size_t choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, env.slo_ms,
-                           video.frame_count() - t, &feasible);
+    size_t choice;
+    if (faults.InFallback()) {
+      // Watchdog fallback: with slo=0 every branch is infeasible and Decide
+      // returns its cheapest branch; re-plan once a clean GoF clears the fault.
+      choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, /*slo_ms=*/0.0,
+                      video.frame_count() - t, nullptr);
+    } else {
+      choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, env.slo_ms,
+                      video.frame_count() - t, &feasible);
+    }
     if (!feasible && current.has_value() && video.frame_count() - t <= 12 &&
         !stats.frames.empty()) {
       // Tail continuation (see LiteReconfigProtocol): ride out the last frames
@@ -98,14 +116,17 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
       int tracked = CountConfident(last_frame);
       double track_total = 0.0;
       for (size_t i = 0; i < tail.size(); ++i) {
-        track_total += env.platform->Sample(
-            env.platform->TrackerMs(tail_tracker, tracked), rng);
+        track_total += platform->Sample(
+            platform->TrackerMs(tail_tracker, tracked), rng);
       }
       stats.tracker_ms += track_total;
       stats.scheduler_ms += kPerFrameOverheadMs * static_cast<double>(tail.size());
-      stats.gof_frame_ms.push_back(track_total / static_cast<double>(tail.size()) +
-                                   kPerFrameOverheadMs);
+      double tail_frame_ms = track_total / static_cast<double>(tail.size()) +
+                             kPerFrameOverheadMs;
+      stats.gof_frame_ms.push_back(tail_frame_ms);
       stats.gof_lengths.push_back(static_cast<int>(tail.size()));
+      faults.OnGofComplete(tail_frame_ms, env.slo_ms,
+                           static_cast<int>(tail.size()), /*coasted=*/false);
       t += static_cast<int>(tail.size());
       for (DetectionList& frame : tail) {
         stats.frames.push_back(std::move(frame));
@@ -113,6 +134,47 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
       continue;
     }
     const Branch& branch = space.at(choice);
+    double det_mean = platform->DetectorMs(branch.detector) * kKernelSlowdown;
+    FaultRuntime::DetectorOutcome outcome =
+        faults.ResolveDetector(t, det_mean, !stats.frames.empty());
+    if (outcome.coast) {
+      // Coast mode (see LiteReconfigProtocol): the detector is down, extend
+      // tracking from the last emitted outputs.
+      const Branch& coast_branch =
+          current.has_value() ? space.at(*current) : branch;
+      TrackerConfig coast_tracker = coast_branch.has_tracker
+                                        ? coast_branch.tracker
+                                        : TrackerConfig{TrackerType::kMedianFlow, 4};
+      int length = std::min(coast_branch.has_tracker ? coast_branch.gof : branch.gof,
+                            video.frame_count() - t);
+      length = std::max(length, 1);
+      const DetectionList last_frame = stats.frames.back();
+      std::vector<DetectionList> coasted = ExecutionKernel::TrackOnly(
+          video, t, length, coast_tracker, last_frame, env.run_salt);
+      if (coasted.empty()) {
+        break;
+      }
+      int tracked = CountConfident(last_frame);
+      double track_total = 0.0;
+      for (size_t i = 0; i < coasted.size(); ++i) {
+        track_total += platform->Sample(
+            platform->TrackerMs(coast_tracker, tracked), rng);
+      }
+      double len = static_cast<double>(coasted.size());
+      double gof_frame =
+          (track_total + outcome.penalty_ms) / len + kPerFrameOverheadMs;
+      stats.tracker_ms += track_total;
+      stats.scheduler_ms += kPerFrameOverheadMs * len;
+      stats.gof_frame_ms.push_back(gof_frame);
+      stats.gof_lengths.push_back(static_cast<int>(len));
+      faults.OnGofComplete(gof_frame, env.slo_ms, static_cast<int>(len),
+                           /*coasted=*/true);
+      t += static_cast<int>(len);
+      for (DetectionList& frame : coasted) {
+        stats.frames.push_back(std::move(frame));
+      }
+      continue;
+    }
     double switch_sample = 0.0;
     if (current.has_value() && *current != choice) {
       switch_sample = env.switching->OnlineCostMs(space.at(*current), branch,
@@ -123,32 +185,38 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     if (gof.frames.empty()) {
       break;
     }
-    double det_mean = env.platform->DetectorMs(branch.detector) * kKernelSlowdown;
-    double det_sample = env.platform->Sample(det_mean, rng);
+    double det_nominal = platform->Sample(det_mean, rng);
+    double det_sample = det_nominal * outcome.outlier_scale;
     // Contention adaptation: calibrate against the zero-contention profile.
+    // With degradation armed, outliers are discarded from calibration.
+    double cal_sample = env.degrade ? det_nominal : det_sample;
     double profiled = models_->latency.DetectorMs(choice) * kKernelSlowdown;
     if (profiled > 0.0) {
       gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
-                kCalibrationEwma * (det_sample / profiled);
+                kCalibrationEwma * (cal_sample / profiled);
     }
     double track_total = 0.0;
     if (branch.has_tracker) {
       int tracked = CountConfident(gof.anchor_detections);
       for (size_t i = 1; i < gof.frames.size(); ++i) {
-        track_total += env.platform->Sample(
-            env.platform->TrackerMs(branch.tracker, tracked), rng);
+        track_total += platform->Sample(
+            platform->TrackerMs(branch.tracker, tracked), rng);
       }
     }
     double len = static_cast<double>(gof.frames.size());
-    stats.detector_ms += det_sample;
+    stats.detector_ms += det_sample + outcome.penalty_ms;
     stats.tracker_ms += track_total;
     stats.scheduler_ms += kSchedulerMs + kPerFrameOverheadMs * len;
     stats.switch_ms += switch_sample;
-    stats.gof_frame_ms.push_back(
-        (det_sample + track_total + kSchedulerMs + switch_sample) / len +
-        kPerFrameOverheadMs);
+    double gof_frame = (det_sample + track_total + kSchedulerMs + switch_sample +
+                        outcome.penalty_ms) /
+                           len +
+                       kPerFrameOverheadMs;
+    stats.gof_frame_ms.push_back(gof_frame);
     stats.gof_lengths.push_back(static_cast<int>(len));
     stats.branches_used.insert(branch.Id());
+    faults.OnGofComplete(gof_frame, env.slo_ms, static_cast<int>(len),
+                         /*coasted=*/false);
     anchor = gof.anchor_detections;
     for (DetectionList& frame : gof.frames) {
       stats.frames.push_back(std::move(frame));
@@ -156,6 +224,7 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     t += static_cast<int>(len);
     current = choice;
   }
+  stats.robustness = faults.TakeAccounting();
   return stats;
 }
 

@@ -14,7 +14,7 @@ constexpr double kAdaScaleTargetPx = 56.0;
 
 VideoRunStats OomStats() {
   VideoRunStats stats;
-  stats.oom = true;
+  stats.MarkOom();
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "src/pipeline/litereconfig_protocol.h"
 
 #include <cassert>
+#include <limits>
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
@@ -14,6 +15,13 @@ constexpr double kCalibrationEwma = 0.3;
 // When no branch fits the tail of a stream (too few frames left to amortize
 // another detector pass), ride it out on the tracker instead.
 constexpr int kTailFrames = 12;
+// Object count assumed when ranking branches for the watchdog fallback.
+constexpr int kFallbackObjectCount = 3;
+
+TrackerConfig CoastTracker(const Branch& branch) {
+  return branch.has_tracker ? branch.tracker
+                            : TrackerConfig{TrackerType::kMedianFlow, 4};
+}
 
 }  // namespace
 
@@ -47,6 +55,22 @@ SchedulerConfig LiteReconfigProtocol::ForcedFeatureConfig(FeatureKind feature) {
   return config;
 }
 
+void LiteReconfigProtocol::TraceFaults(const FaultRuntime& faults,
+                                       size_t first_index, uint64_t video_seed) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  const std::vector<FailureReport>& failures = faults.accounting().failures;
+  for (size_t i = first_index; i < failures.size(); ++i) {
+    DecisionRecord record;
+    record.event = "fault";
+    record.video_seed = video_seed;
+    record.frame = failures[i].frame;
+    record.branch_id = std::string(FailureKindName(failures[i].kind));
+    trace_->Write(record);
+  }
+}
+
 VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
                                              const RunEnv& env) {
   const BranchSpace& space = *models_->space;
@@ -59,6 +83,25 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   // per-video runs independent (the parallel runner's determinism contract).
   double gpu_cal = 1.0;
   bool charge_overhead = scheduler_.config().charge_feature_overhead;
+  // Per-stream platform copy: fault-driven contention bursts mutate only this
+  // stream's contention level, never the model shared across the fan-out.
+  LatencyModel platform_local = *env.platform;
+  const LatencyModel* platform = &platform_local;
+  FaultRuntime faults(env.faults, video.spec().seed, video.frame_count(),
+                      env.fault_seed, env.degrade,
+                      env.platform->contention().level());
+  // Watchdog fallback target: the lowest-latency end of the Pareto frontier.
+  size_t cheapest_branch = 0;
+  if (faults.active()) {
+    double cheapest_ms = std::numeric_limits<double>::infinity();
+    for (size_t b = 0; b < space.size(); ++b) {
+      double ms = env.platform->BranchFrameMs(space.at(b), kFallbackObjectCount);
+      if (ms < cheapest_ms) {
+        cheapest_ms = ms;
+        cheapest_branch = b;
+      }
+    }
+  }
   {
     // Preheat pass (paper footnote 6: "all branches and models are loaded and
     // preheated with several video frames in the beginning"): one cheap
@@ -76,23 +119,33 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   }
   int t = 0;
   while (t < video.frame_count()) {
-    DecisionContext ctx;
-    ctx.video = &video;
-    ctx.frame = t;
-    ctx.anchor_detections = &anchor;
-    ctx.current_branch = current;
-    ctx.slo_ms = env.slo_ms;
-    ctx.frames_remaining = video.frame_count() - t;
-    ctx.gpu_cal = gpu_cal;
-    SchedulerDecision decision = scheduler_.Decide(ctx);
+    faults.BeginGof(t);
+    if (faults.active()) {
+      platform_local.set_contention_level(faults.ContentionAt(t));
+    }
+    size_t fault_mark = faults.accounting().failures.size();
+    SchedulerDecision decision;
+    if (faults.InFallback()) {
+      // Watchdog fallback: skip the full scheduler pass and run the cheapest
+      // branch until a clean GoF clears the fault, then re-plan.
+      decision.branch_index = cheapest_branch;
+    } else {
+      DecisionContext ctx;
+      ctx.video = &video;
+      ctx.frame = t;
+      ctx.anchor_detections = &anchor;
+      ctx.current_branch = current;
+      ctx.slo_ms = env.slo_ms;
+      ctx.frames_remaining = video.frame_count() - t;
+      ctx.gpu_cal = gpu_cal;
+      decision = scheduler_.Decide(ctx);
+    }
     if (decision.infeasible && current.has_value() &&
         video.frame_count() - t <= kTailFrames && !stats.frames.empty()) {
       // Tail continuation: no detector pass fits the remaining frames; keep
       // tracking from the last emitted outputs.
       const Branch& cur_branch = space.at(*current);
-      TrackerConfig tail_tracker = cur_branch.has_tracker
-                                       ? cur_branch.tracker
-                                       : TrackerConfig{TrackerType::kMedianFlow, 4};
+      TrackerConfig tail_tracker = CoastTracker(cur_branch);
       const DetectionList& last_frame = stats.frames.back();
       std::vector<DetectionList> tail = ExecutionKernel::TrackOnly(
           video, t, video.frame_count() - t, tail_tracker, last_frame, env.run_salt);
@@ -102,12 +155,16 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       int tracked = CountConfident(last_frame);
       double track_total = 0.0;
       for (size_t i = 0; i < tail.size(); ++i) {
-        track_total += env.platform->Sample(
-            env.platform->TrackerMs(tail_tracker, tracked), rng);
+        track_total += platform->Sample(
+            platform->TrackerMs(tail_tracker, tracked), rng);
       }
       stats.tracker_ms += track_total;
-      stats.gof_frame_ms.push_back(track_total / static_cast<double>(tail.size()));
+      double tail_frame_ms = track_total / static_cast<double>(tail.size());
+      stats.gof_frame_ms.push_back(tail_frame_ms);
       stats.gof_lengths.push_back(static_cast<int>(tail.size()));
+      faults.OnGofComplete(tail_frame_ms, env.slo_ms,
+                           static_cast<int>(tail.size()), /*coasted=*/false);
+      TraceFaults(faults, fault_mark, video.spec().seed);
       t += static_cast<int>(tail.size());
       for (DetectionList& frame : tail) {
         stats.frames.push_back(std::move(frame));
@@ -115,6 +172,46 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       continue;
     }
     const Branch& branch = space.at(decision.branch_index);
+
+    // Resolve the GoF's detector invocation against the fault plan before
+    // committing to a switch: a coasted GoF stays on the current branch.
+    FaultRuntime::DetectorOutcome outcome = faults.ResolveDetector(
+        t, platform->DetectorMs(branch.detector), !stats.frames.empty());
+    if (outcome.coast) {
+      // Coast mode: the detector is down (or the capture dropped); extend
+      // tracking from the last emitted outputs and mark the frames degraded.
+      const Branch& coast_branch =
+          current.has_value() ? space.at(*current) : branch;
+      TrackerConfig coast_tracker = CoastTracker(coast_branch);
+      int length = std::min(coast_branch.has_tracker ? coast_branch.gof : branch.gof,
+                            video.frame_count() - t);
+      length = std::max(length, 1);
+      const DetectionList last_frame = stats.frames.back();
+      std::vector<DetectionList> coasted = ExecutionKernel::TrackOnly(
+          video, t, length, coast_tracker, last_frame, env.run_salt);
+      if (coasted.empty()) {
+        break;
+      }
+      int tracked = CountConfident(last_frame);
+      double track_total = 0.0;
+      for (size_t i = 0; i < coasted.size(); ++i) {
+        track_total += platform->Sample(
+            platform->TrackerMs(coast_tracker, tracked), rng);
+      }
+      double len = static_cast<double>(coasted.size());
+      double gof_total = track_total + outcome.penalty_ms;
+      stats.tracker_ms += track_total;
+      stats.gof_frame_ms.push_back(gof_total / len);
+      stats.gof_lengths.push_back(static_cast<int>(len));
+      faults.OnGofComplete(gof_total / len, env.slo_ms, static_cast<int>(len),
+                           /*coasted=*/true);
+      TraceFaults(faults, fault_mark, video.spec().seed);
+      t += static_cast<int>(len);
+      for (DetectionList& frame : coasted) {
+        stats.frames.push_back(std::move(frame));
+      }
+      continue;
+    }
 
     double switch_sample = 0.0;
     if (current.has_value() && *current != decision.branch_index) {
@@ -126,33 +223,39 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     if (gof.frames.empty()) {
       break;
     }
-    double det_sample = env.platform->Sample(env.platform->DetectorMs(branch.detector), rng);
-    // Online contention calibration against the zero-contention profile.
+    double det_nominal = platform->Sample(platform->DetectorMs(branch.detector), rng);
+    double det_sample = det_nominal * outcome.outlier_scale;
+    // Online contention calibration against the zero-contention profile. With
+    // the watchdog armed, a one-off outlier is discarded from calibration so a
+    // single stall cannot poison the latency predictions.
+    double cal_sample = env.degrade ? det_nominal : det_sample;
     double profiled = models_->latency.DetectorMs(decision.branch_index);
     if (profiled > 0.0 && scheduler_.config().use_contention_calibration) {
       gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
-                kCalibrationEwma * (det_sample / profiled);
+                kCalibrationEwma * (cal_sample / profiled);
     }
     double track_total = 0.0;
     if (branch.has_tracker) {
       int tracked = CountConfident(gof.anchor_detections);
       for (size_t i = 1; i < gof.frames.size(); ++i) {
-        track_total += env.platform->Sample(
-            env.platform->TrackerMs(branch.tracker, tracked), rng);
+        track_total += platform->Sample(
+            platform->TrackerMs(branch.tracker, tracked), rng);
       }
     }
     double len = static_cast<double>(gof.frames.size());
-    stats.detector_ms += det_sample;
+    stats.detector_ms += det_sample + outcome.penalty_ms;
     stats.tracker_ms += track_total;
     stats.scheduler_ms += decision.scheduler_cost_ms;
     stats.switch_ms += switch_sample;
-    double gof_total = det_sample + track_total + switch_sample;
+    double gof_total = det_sample + track_total + switch_sample + outcome.penalty_ms;
     if (charge_overhead) {
       gof_total += decision.scheduler_cost_ms;
     }
     stats.gof_frame_ms.push_back(gof_total / len);
     stats.gof_lengths.push_back(static_cast<int>(len));
     stats.branches_used.insert(branch.Id());
+    faults.OnGofComplete(gof_total / len, env.slo_ms, static_cast<int>(len),
+                         /*coasted=*/false);
     if (trace_ != nullptr) {
       DecisionRecord record;
       record.video_seed = video.spec().seed;
@@ -172,6 +275,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       record.gpu_cal = gpu_cal;
       trace_->Write(record);
     }
+    TraceFaults(faults, fault_mark, video.spec().seed);
     anchor = gof.anchor_detections;
     for (DetectionList& frame : gof.frames) {
       stats.frames.push_back(std::move(frame));
@@ -179,6 +283,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     t += static_cast<int>(len);
     current = decision.branch_index;
   }
+  stats.robustness = faults.TakeAccounting();
   return stats;
 }
 

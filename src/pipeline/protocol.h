@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/platform/faults.h"
 #include "src/platform/latency.h"
 #include "src/platform/switching.h"
 #include "src/video/synthetic_video.h"
@@ -32,6 +33,14 @@ struct RunEnv {
   double slo_ms = 33.3;
   // Distinguishes independent online runs (execution noise, switch outliers).
   uint64_t run_salt = 0;
+  // Optional fault injection: null means no faults. Fault streams are derived
+  // from (video seed, fault_seed), so runs are deterministic at any thread
+  // count. `degrade` arms the graceful-degradation path (watchdog, bounded
+  // retry, coast mode, cheapest-branch fallback); off means the naive runtime
+  // that blocks on every fault.
+  const FaultSpec* faults = nullptr;
+  uint64_t fault_seed = 0;
+  bool degrade = true;
 };
 
 // What one protocol did on one video.
@@ -50,8 +59,27 @@ struct VideoRunStats {
   // Distinct execution branches invoked (paper Figure 4's branch coverage).
   std::set<std::string> branches_used;
   int switch_count = 0;
-  // The protocol could not run at all (e.g. out of memory on this device).
-  bool oom = false;
+  // Robustness accounting: deadline misses, faults injected/absorbed, degraded
+  // frames, recovery episodes, and the structured per-failure reports
+  // (including a fatal kOom when the protocol cannot run at all).
+  FaultAccounting robustness;
+
+  // Marks the video as unrunnable (e.g. out of memory on this device).
+  void MarkOom() {
+    FailureReport report;
+    report.kind = FailureKind::kOom;
+    report.recovered = false;
+    robustness.failures.push_back(report);
+  }
+  // Whether any failure was fatal (the stream stopped producing frames).
+  bool Fatal() const {
+    for (const FailureReport& failure : robustness.failures) {
+      if (!failure.recovered) {
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 class Protocol {

@@ -1,6 +1,9 @@
 #include "src/pipeline/runner.h"
 
+#include <sstream>
+
 #include "src/util/stats.h"
+#include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 #include "src/vision/metrics.h"
 
@@ -19,6 +22,9 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   env.switching = &switching;
   env.slo_ms = config.slo_ms;
   env.run_salt = config.run_salt;
+  env.faults = config.faults.Any() ? &config.faults : nullptr;
+  env.fault_seed = config.fault_seed;
+  env.degrade = config.degrade;
 
   protocol.Reset();
 
@@ -37,7 +43,7 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
       [&](size_t i) {
         PerVideo& pv = per_video[i];
         pv.stats = protocol.RunVideo(videos[i], env);
-        if (pv.stats.oom) {
+        if (pv.stats.Fatal()) {
           return;
         }
         for (size_t t = 0; t < pv.stats.frames.size(); ++t) {
@@ -55,23 +61,40 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   double tracker_ms = 0.0;
   double scheduler_ms = 0.0;
   double switch_ms = 0.0;
-  for (PerVideo& pv : per_video) {
-    const VideoRunStats& stats = pv.stats;
-    if (stats.oom) {
+  int recovery_events = 0;
+  int recovery_gofs = 0;
+  for (size_t v = 0; v < per_video.size(); ++v) {
+    const VideoRunStats& stats = per_video[v].stats;
+    uint64_t video_seed = videos[v].spec().seed;
+    for (FailureReport failure : stats.robustness.failures) {
+      failure.video_seed = video_seed;
+      result.failures.push_back(failure);
+    }
+    if (stats.Fatal()) {
       result.oom = true;
       return result;
     }
-    evaluator.Merge(pv.eval);
+    evaluator.Merge(per_video[v].eval);
     result.frames += stats.frames.size();
     result.gof_frame_ms.insert(result.gof_frame_ms.end(), stats.gof_frame_ms.begin(),
                                stats.gof_frame_ms.end());
     branches.insert(stats.branches_used.begin(), stats.branches_used.end());
     result.switch_count += stats.switch_count;
+    result.deadline_misses += stats.robustness.deadline_misses;
+    result.faults_injected += stats.robustness.faults_injected;
+    result.faults_absorbed += stats.robustness.faults_absorbed;
+    result.degraded_frames += stats.robustness.degraded_frames;
+    recovery_events += stats.robustness.recovery_events;
+    recovery_gofs += stats.robustness.recovery_gofs;
     detector_ms += stats.detector_ms;
     tracker_ms += stats.tracker_ms;
     scheduler_ms += stats.scheduler_ms;
     switch_ms += stats.switch_ms;
   }
+  result.mean_recovery_gofs =
+      recovery_events > 0
+          ? static_cast<double>(recovery_gofs) / static_cast<double>(recovery_events)
+          : 0.0;
   result.map = evaluator.MeanAveragePrecision();
   result.mean_ms = Mean(result.gof_frame_ms);
   result.p95_ms = Percentile(result.gof_frame_ms, 0.95);
@@ -94,6 +117,35 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   }
   result.branch_coverage = static_cast<int>(branches.size());
   return result;
+}
+
+std::string EvalResultJson(const EvalResult& result) {
+  std::ostringstream os;
+  os << "{\"map\":" << FmtDouble(result.map, 6)
+     << ",\"mean_ms\":" << FmtDouble(result.mean_ms, 4)
+     << ",\"p95_ms\":" << FmtDouble(result.p95_ms, 4)
+     << ",\"violation_rate\":" << FmtDouble(result.violation_rate, 6)
+     << ",\"branch_coverage\":" << result.branch_coverage
+     << ",\"switch_count\":" << result.switch_count
+     << ",\"frames\":" << result.frames
+     << ",\"oom\":" << (result.oom ? "true" : "false")
+     << ",\"deadline_misses\":" << result.deadline_misses
+     << ",\"faults_injected\":" << result.faults_injected
+     << ",\"faults_absorbed\":" << result.faults_absorbed
+     << ",\"degraded_frames\":" << result.degraded_frames
+     << ",\"mean_recovery_gofs\":" << FmtDouble(result.mean_recovery_gofs, 3)
+     << ",\"failures\":[";
+  for (size_t i = 0; i < result.failures.size(); ++i) {
+    const FailureReport& failure = result.failures[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"kind\":\"" << FailureKindName(failure.kind) << "\""
+       << ",\"video\":" << failure.video_seed << ",\"frame\":" << failure.frame
+       << ",\"recovered\":" << (failure.recovered ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace litereconfig

@@ -23,6 +23,13 @@ struct EvalConfig {
   // default (see src/util/thread_pool.h). Results are identical for every
   // value: videos are evaluated independently and merged in video order.
   int threads = 0;
+  // Deterministic fault injection (src/platform/faults.h): the default spec is
+  // empty (no faults). Identical (faults, fault_seed) pairs produce identical
+  // fault streams at any thread count. `degrade` arms the graceful-degradation
+  // path in the protocols that support it.
+  FaultSpec faults;
+  uint64_t fault_seed = 1;
+  bool degrade = true;
 };
 
 struct EvalResult {
@@ -40,14 +47,31 @@ struct EvalResult {
   int branch_coverage = 0;
   int switch_count = 0;
   size_t frames = 0;
+  // Any video had a fatal (unrecovered) failure; the structured reports are in
+  // `failures`.
   bool oom = false;
   // The raw per-GoF amortized samples (Figure 5 needs their distribution).
   std::vector<double> gof_frame_ms;
+
+  // Robustness accounting aggregated over all videos.
+  int deadline_misses = 0;
+  int faults_injected = 0;
+  int faults_absorbed = 0;
+  int degraded_frames = 0;
+  // Mean GoFs from a fault (or deadline miss) back to a clean GoF; 0.0 when no
+  // recovery episode completed.
+  double mean_recovery_gofs = 0.0;
+  // Structured per-video failure reports, tagged with the video seed.
+  std::vector<FailureReport> failures;
 
   // The paper's pass/fail notion: "F" when the protocol misses the SLO (P95
   // above the objective beyond measurement slack) or cannot run at all.
   bool MeetsSlo(double slo_ms, double slack = 1.10) const;
 };
+
+// One-line JSON rendering of an EvalResult, failures included — the
+// machine-readable surface of a run (litereconfig_run --json).
+std::string EvalResultJson(const EvalResult& result);
 
 class OnlineRunner {
  public:

@@ -51,21 +51,58 @@ void TraceWriter::Write(const DecisionRecord& record) {
     quoted.push_back("\"" + feature + "\"");
   }
   std::ostringstream line;
-  line << "{\"video\":" << record.video_seed << ",\"frame\":" << record.frame
-      << ",\"branch\":\"" << record.branch_id << "\""
-      << ",\"features\":[" << Join(quoted, ",") << "]"
-      << ",\"pred_acc\":" << FmtDouble(record.predicted_accuracy, 4)
-      << ",\"pred_ms\":" << FmtDouble(record.predicted_frame_ms, 3)
-      << ",\"sched_ms\":" << FmtDouble(record.scheduler_cost_ms, 3)
-      << ",\"switch_ms\":" << FmtDouble(record.switch_cost_ms, 3)
-      << ",\"actual_ms\":" << FmtDouble(record.actual_frame_ms, 3)
-      << ",\"gof\":" << record.gof_length
-      << ",\"switched\":" << (record.switched ? "true" : "false")
-      << ",\"infeasible\":" << (record.infeasible ? "true" : "false")
-      << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4) << "}\n";
+  line << "{\"event\":\"" << record.event << "\""
+      << ",\"video\":" << record.video_seed << ",\"frame\":" << record.frame
+      << ",\"branch\":\"" << record.branch_id << "\"";
+  if (record.event == "decision") {
+    line << ",\"features\":[" << Join(quoted, ",") << "]"
+        << ",\"pred_acc\":" << FmtDouble(record.predicted_accuracy, 4)
+        << ",\"pred_ms\":" << FmtDouble(record.predicted_frame_ms, 3)
+        << ",\"sched_ms\":" << FmtDouble(record.scheduler_cost_ms, 3)
+        << ",\"switch_ms\":" << FmtDouble(record.switch_cost_ms, 3)
+        << ",\"actual_ms\":" << FmtDouble(record.actual_frame_ms, 3)
+        << ",\"gof\":" << record.gof_length
+        << ",\"switched\":" << (record.switched ? "true" : "false")
+        << ",\"infeasible\":" << (record.infeasible ? "true" : "false")
+        << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4);
+  }
+  line << "}\n";
   std::lock_guard<std::mutex> lock(mu_);
-  os_ << line.str();
+  std::string& buffer = buffers_[record.video_seed];
+  if (buffer.empty()) {
+    bool seen = false;
+    for (uint64_t seed : first_seen_) {
+      if (seed == record.video_seed) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      first_seen_.push_back(record.video_seed);
+    }
+  }
+  buffer += line.str();
   ++count_;
+}
+
+void TraceWriter::Flush(const std::vector<uint64_t>& video_order) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t seed : video_order) {
+    auto it = buffers_.find(seed);
+    if (it != buffers_.end()) {
+      os_ << it->second;
+      buffers_.erase(it);
+    }
+  }
+  for (uint64_t seed : first_seen_) {
+    auto it = buffers_.find(seed);
+    if (it != buffers_.end()) {
+      os_ << it->second;
+      buffers_.erase(it);
+    }
+  }
+  first_seen_.clear();
+  os_.flush();
 }
 
 std::optional<DecisionRecord> TraceReader::ParseLine(const std::string& line) {
@@ -73,14 +110,22 @@ std::optional<DecisionRecord> TraceReader::ParseLine(const std::string& line) {
   auto video = FindValue(line, "video");
   auto frame = FindValue(line, "frame");
   auto branch = FindValue(line, "branch");
+  if (!video || !frame || !branch) {
+    return std::nullopt;
+  }
+  if (auto v = FindValue(line, "event")) {
+    record.event = *v;
+  }
   auto actual = FindValue(line, "actual_ms");
-  if (!video || !frame || !branch || !actual) {
+  if (record.event == "decision" && !actual) {
     return std::nullopt;
   }
   record.video_seed = std::strtoull(video->c_str(), nullptr, 10);
   record.frame = static_cast<int>(std::strtol(frame->c_str(), nullptr, 10));
   record.branch_id = *branch;
-  record.actual_frame_ms = std::strtod(actual->c_str(), nullptr);
+  if (actual) {
+    record.actual_frame_ms = std::strtod(actual->c_str(), nullptr);
+  }
   if (auto v = FindValue(line, "pred_acc")) {
     record.predicted_accuracy = std::strtod(v->c_str(), nullptr);
   }

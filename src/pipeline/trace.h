@@ -1,12 +1,14 @@
 // Decision tracing: a JSON-lines record of every scheduling decision the
-// runtime makes (branch, features, predictions, realized latency). Attach a
-// TraceWriter to a LiteReconfigProtocol to capture a run; the trace_summary
-// tool and the TraceReader turn traces back into structured records.
+// runtime makes (branch, features, predictions, realized latency) plus every
+// fault event the fault-injection layer reports. Attach a TraceWriter to a
+// LiteReconfigProtocol to capture a run; the trace_summary tool and the
+// TraceReader turn traces back into structured records.
 #ifndef SRC_PIPELINE_TRACE_H_
 #define SRC_PIPELINE_TRACE_H_
 
 #include <cstdint>
 #include <istream>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -16,6 +18,9 @@
 namespace litereconfig {
 
 struct DecisionRecord {
+  // "decision" for scheduler decisions; "fault" for fault-injection events
+  // (then branch_id carries the failure kind name).
+  std::string event = "decision";
   uint64_t video_seed = 0;
   int frame = 0;
   std::string branch_id;
@@ -36,12 +41,23 @@ struct DecisionRecord {
 class TraceWriter {
  public:
   explicit TraceWriter(std::ostream& os) : os_(os) {}
+  ~TraceWriter() { Flush(); }
 
-  // Thread-safe: each record is formatted off-lock and emitted as one line, so
-  // concurrent per-video runs never interleave within a record. Record *order*
-  // across videos follows completion order; run with threads=1 when a
-  // deterministic trace ordering is required.
+  // Thread-safe. Records are formatted off-lock and buffered per video, so
+  // concurrent per-video runs never interleave and the emitted trace is
+  // identical at any thread count: nothing reaches the stream until Flush,
+  // which writes each video's records (in write order within the video)
+  // grouped by video in the order given — or, by default, in the order videos
+  // first wrote a record.
   void Write(const DecisionRecord& record);
+
+  // Drains the buffer to the stream. With `video_order`, listed videos are
+  // emitted first in that order, then any remaining videos in first-write
+  // order. Pass the dataset's video seeds to make multi-threaded traces
+  // byte-identical to a threads=1 run.
+  void Flush(const std::vector<uint64_t>& video_order = {});
+
+  // Records written so far (buffered or flushed).
   size_t count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return count_;
@@ -51,6 +67,9 @@ class TraceWriter {
   std::ostream& os_;
   mutable std::mutex mu_;
   size_t count_ = 0;
+  // Per-video buffered lines plus the first-write order of video seeds.
+  std::map<uint64_t, std::string> buffers_;
+  std::vector<uint64_t> first_seen_;
 };
 
 class TraceReader {

@@ -26,12 +26,21 @@ const DeviceProfile& GetDeviceProfile(DeviceType device) {
 
 ContentionGenerator::ContentionGenerator(double level) { set_level(level); }
 
+ContentionGenerator::ContentionGenerator(const ContentionGenerator& other)
+    : level_(other.level()) {}
+
+ContentionGenerator& ContentionGenerator::operator=(
+    const ContentionGenerator& other) {
+  level_.store(other.level(), std::memory_order_relaxed);
+  return *this;
+}
+
 void ContentionGenerator::set_level(double level) {
-  level_ = std::clamp(level, 0.0, 0.99);
+  level_.store(std::clamp(level, 0.0, 0.99), std::memory_order_relaxed);
 }
 
 double ContentionGenerator::GpuInflation() const {
-  return 1.0 / (1.0 - kContentionCoupling * level_);
+  return 1.0 / (1.0 - kContentionCoupling * level());
 }
 
 }  // namespace litereconfig

@@ -8,6 +8,7 @@
 #ifndef SRC_PLATFORM_DEVICE_H_
 #define SRC_PLATFORM_DEVICE_H_
 
+#include <atomic>
 #include <string_view>
 
 namespace litereconfig {
@@ -32,14 +33,22 @@ class ContentionGenerator {
   // level in [0, 0.99]: the fraction of GPU capacity held by other applications.
   explicit ContentionGenerator(double level = 0.0);
 
-  double level() const { return level_; }
+  // Copyable so that each video stream can carry its own LatencyModel and
+  // mutate the level mid-run (fault-driven contention bursts) without touching
+  // the model shared across the thread-pool fan-out.
+  ContentionGenerator(const ContentionGenerator& other);
+  ContentionGenerator& operator=(const ContentionGenerator& other);
+
+  double level() const { return level_.load(std::memory_order_relaxed); }
   void set_level(double level);
 
   // Multiplier applied to the mean latency of GPU-resident kernels.
   double GpuInflation() const;
 
  private:
-  double level_;
+  // Atomic: set_level is safe to call while other threads sample latencies
+  // (an intentional cross-stream contention change never tears a read).
+  std::atomic<double> level_;
 };
 
 }  // namespace litereconfig

@@ -1,0 +1,296 @@
+#include "src/platform/faults.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace litereconfig {
+
+namespace {
+
+constexpr uint64_t kPlanSalt = 0xfa617ull;
+constexpr uint64_t kBurstSalt = 0xb1257ull;
+constexpr uint64_t kOutlierSalt = 0x0071e5ull;
+constexpr uint64_t kFailureSalt = 0xdef41ull;
+constexpr uint64_t kDropSalt = 0xd509ull;
+
+}  // namespace
+
+std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kOom:
+      return "oom";
+    case FailureKind::kDetectorFault:
+      return "detector_fault";
+    case FailureKind::kFrameDrop:
+      return "frame_drop";
+    case FailureKind::kContentionBurst:
+      return "contention_burst";
+    case FailureKind::kLatencyOutlier:
+      return "latency_outlier";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::Any() const {
+  return bursts_per_100_frames > 0.0 || outlier_prob > 0.0 ||
+         detector_failure_prob > 0.0 || frame_drop_prob > 0.0;
+}
+
+FaultSpec FaultSpec::None() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::Mild() {
+  FaultSpec spec;
+  spec.bursts_per_100_frames = 0.6;
+  spec.burst_level = 0.35;
+  spec.burst_frames = 24;
+  spec.outlier_prob = 0.02;
+  spec.outlier_scale = 2.5;
+  spec.detector_failure_prob = 0.01;
+  spec.failure_persistence = 0.30;
+  spec.frame_drop_prob = 0.005;
+  return spec;
+}
+
+FaultSpec FaultSpec::Moderate() {
+  FaultSpec spec;
+  spec.bursts_per_100_frames = 1.2;
+  spec.burst_level = 0.50;
+  spec.burst_frames = 30;
+  spec.outlier_prob = 0.05;
+  spec.outlier_scale = 3.0;
+  spec.detector_failure_prob = 0.04;
+  spec.failure_persistence = 0.45;
+  spec.frame_drop_prob = 0.015;
+  return spec;
+}
+
+FaultSpec FaultSpec::Severe() {
+  FaultSpec spec;
+  spec.bursts_per_100_frames = 2.5;
+  spec.burst_level = 0.65;
+  spec.burst_frames = 40;
+  spec.outlier_prob = 0.10;
+  spec.outlier_scale = 4.0;
+  spec.detector_failure_prob = 0.10;
+  spec.failure_persistence = 0.60;
+  spec.frame_drop_prob = 0.03;
+  return spec;
+}
+
+std::optional<FaultSpec> FaultSpec::FromName(std::string_view name) {
+  if (name == "none") {
+    return None();
+  }
+  if (name == "mild") {
+    return Mild();
+  }
+  if (name == "moderate") {
+    return Moderate();
+  }
+  if (name == "severe") {
+    return Severe();
+  }
+  return std::nullopt;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count,
+                     uint64_t fault_seed)
+    : spec_(spec),
+      seed_(HashKeys({video_seed, fault_seed, kPlanSalt})),
+      active_(spec.Any()) {
+  if (!active_ || spec_.bursts_per_100_frames <= 0.0 || spec_.burst_frames <= 0) {
+    return;
+  }
+  // Bursts are drawn from one per-video substream and materialized up front:
+  // schedule shape depends only on the seeds, never on how the run queries it.
+  Pcg32 rng(HashKeys({seed_, kBurstSalt}));
+  double start_prob = std::min(1.0, spec_.bursts_per_100_frames / 100.0);
+  int frame = 0;
+  while (frame < frame_count) {
+    if (rng.Bernoulli(start_prob)) {
+      bursts_.push_back(Burst{frame, spec_.burst_frames, spec_.burst_level});
+      frame += spec_.burst_frames;
+    } else {
+      ++frame;
+    }
+  }
+}
+
+int FaultPlan::BurstIndexAt(int frame) const {
+  for (size_t i = 0; i < bursts_.size(); ++i) {
+    if (frame >= bursts_[i].start && frame < bursts_[i].start + bursts_[i].length) {
+      return static_cast<int>(i);
+    }
+    if (bursts_[i].start > frame) {
+      break;
+    }
+  }
+  return -1;
+}
+
+double FaultPlan::BurstLevelAt(int frame) const {
+  int index = BurstIndexAt(frame);
+  return index < 0 ? 0.0 : bursts_[static_cast<size_t>(index)].level;
+}
+
+double FaultPlan::DetectorOutlierScale(int frame) const {
+  if (!active_ || spec_.outlier_prob <= 0.0) {
+    return 1.0;
+  }
+  Pcg32 rng(HashKeys({seed_, static_cast<uint64_t>(frame), kOutlierSalt}));
+  return rng.NextDouble() < spec_.outlier_prob ? spec_.outlier_scale : 1.0;
+}
+
+bool FaultPlan::DetectorFails(int frame, int attempt) const {
+  if (!active_) {
+    return false;
+  }
+  double p = attempt == 0 ? spec_.detector_failure_prob : spec_.failure_persistence;
+  if (p <= 0.0) {
+    return false;
+  }
+  Pcg32 rng(HashKeys({seed_, static_cast<uint64_t>(frame),
+                      static_cast<uint64_t>(attempt), kFailureSalt}));
+  return rng.NextDouble() < p;
+}
+
+bool FaultPlan::FrameDropped(int frame) const {
+  if (!active_ || spec_.frame_drop_prob <= 0.0) {
+    return false;
+  }
+  Pcg32 rng(HashKeys({seed_, static_cast<uint64_t>(frame), kDropSalt}));
+  return rng.NextDouble() < spec_.frame_drop_prob;
+}
+
+FaultRuntime::FaultRuntime(const FaultSpec* spec, uint64_t video_seed,
+                           int frame_count, uint64_t fault_seed, bool degrade,
+                           double base_contention)
+    : plan_(spec != nullptr ? FaultPlan(*spec, video_seed, frame_count, fault_seed)
+                            : FaultPlan()),
+      degrade_(degrade),
+      base_contention_(base_contention) {}
+
+void FaultRuntime::RecordFault(FailureKind kind, int frame) {
+  ++acc_.faults_injected;
+  ++gof_faults_;
+  FailureReport report;
+  report.kind = kind;
+  report.frame = frame;
+  report.recovered = true;
+  acc_.failures.push_back(report);
+}
+
+void FaultRuntime::BeginGof(int frame) {
+  gof_faults_ = 0;
+  if (!active()) {
+    return;
+  }
+  int burst = plan_.BurstIndexAt(frame);
+  if (burst >= 0 && burst != last_burst_recorded_) {
+    last_burst_recorded_ = burst;
+    RecordFault(FailureKind::kContentionBurst, frame);
+  }
+}
+
+double FaultRuntime::ContentionAt(int frame) const {
+  return base_contention_ + plan_.BurstLevelAt(frame);
+}
+
+FaultRuntime::DetectorOutcome FaultRuntime::ResolveDetector(int frame,
+                                                            double mean_ms,
+                                                            bool can_coast) {
+  DetectorOutcome out;
+  if (!active()) {
+    return out;
+  }
+  if (plan_.FrameDropped(frame)) {
+    RecordFault(FailureKind::kFrameDrop, frame);
+    if (degrade_ && can_coast) {
+      // No fresh capture: extrapolate the GoF from the last good detections
+      // instead of stalling the whole pipeline on the next frame.
+      out.coast = true;
+      return out;
+    }
+    out.penalty_ms += kFrameIntervalMs;  // block until the next capture
+  }
+  int attempt = 0;
+  if (degrade_) {
+    // Fail fast: a watchdog timeout cuts each hung invocation short, retries
+    // back off exponentially, and a persistent failure degrades to coasting.
+    while (attempt <= kMaxDetectorRetries && plan_.DetectorFails(frame, attempt)) {
+      out.penalty_ms += mean_ms * kFailedAttemptFraction +
+                        kRetryBackoffBaseMs * static_cast<double>(1 << attempt);
+      ++attempt;
+    }
+    out.failed_attempts = attempt;
+    if (attempt > 0) {
+      RecordFault(FailureKind::kDetectorFault, frame);
+    }
+    if (attempt > kMaxDetectorRetries) {
+      if (can_coast) {
+        out.coast = true;
+        return out;
+      }
+      // Nothing to coast from (first GoF): keep blocking until the fault
+      // clears so the stream still starts.
+      while (attempt < kBlockingRetryCap && plan_.DetectorFails(frame, attempt)) {
+        out.penalty_ms += mean_ms;
+        ++attempt;
+      }
+      out.failed_attempts = attempt;
+    }
+  } else {
+    // Naive runtime: no watchdog, so every failed invocation costs its full
+    // mean before the failure is even noticed, and retries are immediate.
+    while (attempt < kBlockingRetryCap && plan_.DetectorFails(frame, attempt)) {
+      out.penalty_ms += mean_ms;
+      ++attempt;
+    }
+    out.failed_attempts = attempt;
+    if (attempt > 0) {
+      RecordFault(FailureKind::kDetectorFault, frame);
+    }
+  }
+  out.outlier_scale = plan_.DetectorOutlierScale(frame);
+  if (out.outlier_scale > 1.0) {
+    RecordFault(FailureKind::kLatencyOutlier, frame);
+  }
+  return out;
+}
+
+void FaultRuntime::OnGofComplete(double frame_ms, double slo_ms, int gof_length,
+                                 bool coasted) {
+  bool missed = frame_ms > slo_ms;
+  if (missed) {
+    ++acc_.deadline_misses;
+  }
+  if (!active()) {
+    return;
+  }
+  if (coasted) {
+    acc_.degraded_frames += gof_length;
+  }
+  if (gof_faults_ > 0 && !missed) {
+    acc_.faults_absorbed += gof_faults_;
+  }
+  bool clean = gof_faults_ == 0 && !missed;
+  if (in_episode_) {
+    ++episode_gofs_;
+    if (clean) {
+      ++acc_.recovery_events;
+      acc_.recovery_gofs += episode_gofs_;
+      in_episode_ = false;
+      episode_gofs_ = 0;
+    }
+  } else if (!clean) {
+    in_episode_ = true;
+    episode_gofs_ = 0;
+  }
+  if (degrade_) {
+    fallback_ = !clean;
+  }
+  gof_faults_ = 0;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,218 @@
+// Deterministic fault injection and the graceful-degradation runtime.
+//
+// Real SoC deployments do not see *smooth* contention: co-located workloads
+// spike abruptly, kernels occasionally hang or fail transiently, and capture
+// pipelines drop frames. This subsystem injects those faults into the
+// simulation deterministically — every fault stream is derived from
+// (video seed, fault seed) through hash-seeded Pcg32 substreams, never from
+// global call order, so identical seeds give identical fault schedules at any
+// thread count (the parallel evaluation engine's determinism contract).
+//
+// Three layers:
+//   * FaultSpec        — the knobs of an escalating fault schedule
+//                        (none/mild/moderate/severe presets).
+//   * FaultPlan        — the per-video materialization: contention bursts as
+//                        intervals, plus stateless point queries for kernel
+//                        outliers, transient detector failures, and frame drops.
+//   * FaultRuntime     — the per-stream watchdog the protocols drive: bounded
+//                        retry-with-backoff for transient failures, tracker-only
+//                        "coast" GoFs when the detector stays down, deadline-miss
+//                        detection against the SLO, and a forced-fallback state
+//                        (cheapest branch + scheduler re-plan once clean).
+#ifndef SRC_PLATFORM_FAULTS_H_
+#define SRC_PLATFORM_FAULTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace litereconfig {
+
+// Structured per-video failure reporting (replaces the all-or-nothing oom bool).
+enum class FailureKind {
+  kOom = 0,              // the protocol cannot run on this device at all
+  kDetectorFault = 1,    // transient detector failure / timeout
+  kFrameDrop = 2,        // the capture pipeline dropped the anchor frame
+  kContentionBurst = 3,  // a co-located workload spiked GPU contention
+  kLatencyOutlier = 4,   // one kernel invocation ran far over its mean
+};
+
+std::string_view FailureKindName(FailureKind kind);
+
+struct FailureReport {
+  FailureKind kind = FailureKind::kOom;
+  int frame = 0;
+  // Whether the runtime kept emitting frames past the failure. Always false
+  // for kOom; injected transient faults are recovered by construction (the
+  // degradation machinery, or blocking retries, eventually gets through).
+  bool recovered = false;
+  // Filled in by the evaluation merge (per-video stats do not know their seed).
+  uint64_t video_seed = 0;
+};
+
+// The knobs of one fault schedule. All rates are deterministic probabilities
+// resolved per (video, frame) — not wall-clock — so schedules are reproducible.
+struct FaultSpec {
+  // Contention bursts: expected burst starts per 100 frames, the additional
+  // GPU share held during a burst, and the burst length in frames.
+  double bursts_per_100_frames = 0.0;
+  double burst_level = 0.45;
+  int burst_frames = 30;
+  // Per-detector-invocation latency outliers (e.g. a thermal or paging stall).
+  double outlier_prob = 0.0;
+  double outlier_scale = 3.0;
+  // Transient detector failures: probability the invocation fails outright,
+  // and the probability each subsequent retry still fails.
+  double detector_failure_prob = 0.0;
+  double failure_persistence = 0.35;
+  // Probability the GoF's anchor frame capture is dropped.
+  double frame_drop_prob = 0.0;
+
+  bool Any() const;
+
+  static FaultSpec None();
+  static FaultSpec Mild();
+  static FaultSpec Moderate();
+  static FaultSpec Severe();
+  // Parses a preset name ("none" | "mild" | "moderate" | "severe").
+  static std::optional<FaultSpec> FromName(std::string_view name);
+};
+
+// The deterministic per-video fault schedule. Bursts are materialized as
+// intervals at construction; everything else is a stateless pure function of
+// (plan seed, frame, attempt), so queries are safe from any thread and
+// independent of query order.
+class FaultPlan {
+ public:
+  struct Burst {
+    int start = 0;
+    int length = 0;
+    double level = 0.0;
+  };
+
+  FaultPlan() = default;
+  FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count,
+            uint64_t fault_seed);
+
+  bool active() const { return active_; }
+  const std::vector<Burst>& bursts() const { return bursts_; }
+
+  // Index of the burst covering `frame`, or -1.
+  int BurstIndexAt(int frame) const;
+  // Additional contention level at `frame` (0.0 outside bursts).
+  double BurstLevelAt(int frame) const;
+  // Latency multiplier for the detector invocation anchored at `frame`.
+  double DetectorOutlierScale(int frame) const;
+  // Whether the detector invocation at `frame` fails on retry `attempt`.
+  bool DetectorFails(int frame, int attempt) const;
+  bool FrameDropped(int frame) const;
+
+ private:
+  FaultSpec spec_;
+  uint64_t seed_ = 0;
+  bool active_ = false;
+  std::vector<Burst> bursts_;
+};
+
+// Robustness accounting carried per video and merged into the evaluation.
+struct FaultAccounting {
+  // GoFs whose amortized per-frame latency exceeded the SLO.
+  int deadline_misses = 0;
+  // Faults the schedule injected into this stream.
+  int faults_injected = 0;
+  // Injected faults the runtime absorbed: the GoF still met the SLO.
+  int faults_absorbed = 0;
+  // Frames emitted by tracker-only coasting (no fresh detector output).
+  int degraded_frames = 0;
+  // Recovery episodes: GoFs from the first faulty/missed GoF back to a clean
+  // one. mean recovery = recovery_gofs / recovery_events.
+  int recovery_events = 0;
+  int recovery_gofs = 0;
+  std::vector<FailureReport> failures;
+};
+
+// The per-stream degradation state machine. One instance per RunVideo call;
+// all state is local to the stream, preserving per-video independence.
+class FaultRuntime {
+ public:
+  // `spec` may be null (no fault injection; the watchdog still counts
+  // deadline misses). `base_contention` is the platform's smooth contention
+  // level, onto which bursts stack.
+  FaultRuntime(const FaultSpec* spec, uint64_t video_seed, int frame_count,
+               uint64_t fault_seed, bool degrade, double base_contention);
+
+  bool active() const { return plan_.active(); }
+  bool degrade() const { return degrade_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  // Starts the GoF anchored at `frame`: records a newly-entered contention
+  // burst (once per burst) and resets the per-GoF fault count.
+  void BeginGof(int frame);
+
+  // Absolute contention level to run the GoF at (base + any active burst).
+  double ContentionAt(int frame) const;
+
+  struct DetectorOutcome {
+    // The detector never came back: skip it and coast this GoF on the tracker.
+    bool coast = false;
+    // Latency charged for the fault handling (failed attempts, backoff,
+    // capture stalls), on top of the eventual successful invocation.
+    double penalty_ms = 0.0;
+    // Multiplier on the successful invocation's sampled latency (1.0 normally).
+    double outlier_scale = 1.0;
+    int failed_attempts = 0;
+  };
+
+  // Resolves the detector invocation at `frame` against the fault plan.
+  // `mean_ms` is the invocation's mean latency under the current contention
+  // (failed attempts are charged against it); `can_coast` is whether the
+  // caller has prior outputs to track from. With degradation on, failures are
+  // retried with exponential backoff after a fail-fast timeout, then the GoF
+  // coasts; with degradation off, the runtime blocks on the hung kernel,
+  // paying the full invocation cost per retry until the fault clears.
+  DetectorOutcome ResolveDetector(int frame, double mean_ms, bool can_coast);
+
+  // Watchdog bookkeeping, called once per emitted GoF with its amortized
+  // per-frame latency. Updates deadline misses, absorption and recovery
+  // accounting, and the forced-fallback state: after a faulty or
+  // deadline-missing GoF the next decision is forced to the cheapest branch;
+  // a clean GoF clears the fallback and the scheduler re-plans.
+  void OnGofComplete(double frame_ms, double slo_ms, int gof_length,
+                     bool coasted);
+
+  bool InFallback() const { return fallback_; }
+
+  const FaultAccounting& accounting() const { return acc_; }
+  FaultAccounting TakeAccounting() { return std::move(acc_); }
+
+ private:
+  void RecordFault(FailureKind kind, int frame);
+
+  FaultPlan plan_;
+  bool degrade_ = true;
+  double base_contention_ = 0.0;
+  FaultAccounting acc_;
+  int gof_faults_ = 0;
+  int last_burst_recorded_ = -1;
+  bool fallback_ = false;
+  bool in_episode_ = false;
+  int episode_gofs_ = 0;
+};
+
+// Retry policy constants, exposed for tests.
+// Degradation mode: fail fast (a watchdog timeout cuts a hung invocation at
+// this fraction of its mean), retry at most kMaxDetectorRetries times with
+// exponential backoff, then coast.
+inline constexpr int kMaxDetectorRetries = 2;
+inline constexpr double kFailedAttemptFraction = 0.4;
+inline constexpr double kRetryBackoffBaseMs = 2.0;
+// Naive mode: block on the hung kernel, full cost per attempt, hard cap so
+// runs always terminate.
+inline constexpr int kBlockingRetryCap = 12;
+// Capture stall charged when a dropped frame is waited out (non-degrade path).
+inline constexpr double kFrameIntervalMs = 33.3;
+
+}  // namespace litereconfig
+
+#endif  // SRC_PLATFORM_FAULTS_H_

@@ -77,7 +77,7 @@ TEST(FixedDetectorProtocolTest, ProducesFrameAlignedOutput) {
   SwitchingCostModel switching(DeviceType::kTx2);
   RunEnv env{&platform, &switching, 33.3, 1};
   VideoRunStats stats = protocol.RunVideo(video, env);
-  EXPECT_FALSE(stats.oom);
+  EXPECT_FALSE(stats.Fatal());
   EXPECT_EQ(stats.frames.size(), static_cast<size_t>(video.frame_count()));
   EXPECT_EQ(stats.gof_frame_ms.size(), static_cast<size_t>(video.frame_count()));
   EXPECT_EQ(stats.branches_used.size(), 1u);
@@ -89,10 +89,10 @@ TEST(FixedDetectorProtocolTest, OomOnTx2ButRunsOnXavier) {
   SwitchingCostModel switching(DeviceType::kTx2);
   LatencyModel tx2(DeviceType::kTx2, 0.0);
   RunEnv tx2_env{&tx2, &switching, 100.0, 1};
-  EXPECT_TRUE(protocol.RunVideo(video, tx2_env).oom);
+  EXPECT_TRUE(protocol.RunVideo(video, tx2_env).Fatal());
   LatencyModel xavier(DeviceType::kXavier, 0.0);
   RunEnv xavier_env{&xavier, &switching, 100.0, 1};
-  EXPECT_FALSE(protocol.RunVideo(video, xavier_env).oom);
+  EXPECT_FALSE(protocol.RunVideo(video, xavier_env).Fatal());
 }
 
 TEST(FixedDetectorProtocolTest, ContentionInflatesLatency) {

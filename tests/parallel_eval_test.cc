@@ -29,6 +29,18 @@ void ExpectIdentical(const EvalResult& a, const EvalResult& b) {
   EXPECT_EQ(a.switch_count, b.switch_count);
   EXPECT_EQ(a.frames, b.frames);
   EXPECT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_absorbed, b.faults_absorbed);
+  EXPECT_EQ(a.degraded_frames, b.degraded_frames);
+  EXPECT_EQ(a.mean_recovery_gofs, b.mean_recovery_gofs);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].kind, b.failures[i].kind) << "failure " << i;
+    EXPECT_EQ(a.failures[i].frame, b.failures[i].frame) << "failure " << i;
+    EXPECT_EQ(a.failures[i].recovered, b.failures[i].recovered) << "failure " << i;
+    EXPECT_EQ(a.failures[i].video_seed, b.failures[i].video_seed) << "failure " << i;
+  }
   ASSERT_EQ(a.gof_frame_ms.size(), b.gof_frame_ms.size());
   for (size_t i = 0; i < a.gof_frame_ms.size(); ++i) {
     EXPECT_EQ(a.gof_frame_ms[i], b.gof_frame_ms[i]) << "GoF sample " << i;

@@ -116,6 +116,9 @@ TEST(TraceTest, WriterEmitsOneLinePerRecord) {
   writer.Write(SampleRecord());
   writer.Write(SampleRecord());
   EXPECT_EQ(writer.count(), 2u);
+  // Records are buffered per video until Flush.
+  EXPECT_TRUE(os.str().empty());
+  writer.Flush();
   std::string out = os.str();
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
 }
@@ -125,6 +128,7 @@ TEST(TraceTest, RoundTripPreservesFields) {
   TraceWriter writer(os);
   DecisionRecord original = SampleRecord();
   writer.Write(original);
+  writer.Flush();
   std::istringstream is(os.str());
   std::vector<DecisionRecord> records = TraceReader::ReadAll(is);
   ASSERT_EQ(records.size(), 1u);
@@ -150,6 +154,7 @@ TEST(TraceTest, EmptyFeaturesRoundTrip) {
   DecisionRecord record = SampleRecord();
   record.features.clear();
   writer.Write(record);
+  writer.Flush();
   std::istringstream is(os.str());
   std::vector<DecisionRecord> records = TraceReader::ReadAll(is);
   ASSERT_EQ(records.size(), 1u);

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "src/baselines/approxdet.h"
 #include "src/baselines/knob_protocols.h"
@@ -34,11 +36,18 @@ int Run(int argc, char** argv) {
   flags.Define("run_salt", "1", "seed distinguishing independent online runs");
   flags.Define("threads", "0",
                "worker threads for the per-video fan-out (0 = all cores); "
-               "results are identical for every value. --trace forces 1 so "
-               "trace record order stays deterministic");
+               "results (traces included) are identical for every value");
   flags.Define("csv", "", "write per-GoF amortized latency samples to this CSV");
   flags.Define("trace", "",
                "write the decision trace (JSONL) here; LiteReconfig variants only");
+  flags.Define("faults", "none",
+               "fault-injection schedule: none | mild | moderate | severe");
+  flags.Define("fault_seed", "1",
+               "seed for the deterministic fault streams (per-video substreams)");
+  flags.Define("degrade", "1",
+               "1 = graceful degradation (watchdog, bounded retry, coast mode, "
+               "cheapest-branch fallback); 0 = naive blocking retries");
+  flags.Define("json", "", "write the full evaluation result as one-line JSON here");
   if (!flags.Parse(argc, argv)) {
     flags.PrintHelp(flags.help_requested() ? std::cout : std::cerr);
     return flags.help_requested() ? 0 : 1;
@@ -100,11 +109,35 @@ int Run(int argc, char** argv) {
   config.slo_ms = slo;
   config.run_salt = static_cast<uint64_t>(flags.GetInt("run_salt"));
   config.threads = flags.GetInt("threads");
-  if (trace != nullptr) {
-    config.threads = 1;
+  std::optional<FaultSpec> faults = FaultSpec::FromName(flags.GetString("faults"));
+  if (!faults) {
+    std::cerr << "unknown fault schedule '" << flags.GetString("faults")
+              << "' (want none | mild | moderate | severe)\n";
+    return 1;
   }
+  config.faults = *faults;
+  config.fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
+  config.degrade = flags.GetInt("degrade") != 0;
   EvalResult result = OnlineRunner::Run(*protocol, validation, config);
 
+  if (trace != nullptr) {
+    // Flush buffered trace records in dataset video order, making the trace
+    // byte-identical at any --threads value.
+    std::vector<uint64_t> video_order;
+    video_order.reserve(validation.videos.size());
+    for (const SyntheticVideo& video : validation.videos) {
+      video_order.push_back(video.spec().seed);
+    }
+    trace->Flush(video_order);
+  }
+  if (!flags.GetString("json").empty()) {
+    std::ofstream json(flags.GetString("json"));
+    if (!json) {
+      std::cerr << "cannot open json file " << flags.GetString("json") << "\n";
+      return 1;
+    }
+    json << EvalResultJson(result) << "\n";
+  }
   if (result.oom) {
     std::cout << "result: OOM (protocol does not fit on this device)\n";
     return 0;
@@ -126,6 +159,16 @@ int Run(int argc, char** argv) {
             << "%, tracker " << FmtDouble(result.tracker_frac * 100, 1)
             << "%, scheduler " << FmtDouble(result.scheduler_frac * 100, 1)
             << "%, switching " << FmtDouble(result.switch_frac * 100, 1) << "%\n";
+  if (config.faults.Any()) {
+    std::cout << "faults:          " << flags.GetString("faults") << " (seed "
+              << config.fault_seed << ", degradation "
+              << (config.degrade ? "on" : "off") << ")\n"
+              << "robustness:      " << result.faults_injected << " injected, "
+              << result.faults_absorbed << " absorbed, "
+              << result.deadline_misses << " deadline misses, "
+              << result.degraded_frames << " degraded frames, mean recovery "
+              << FmtDouble(result.mean_recovery_gofs, 2) << " GoFs\n";
+  }
 
   if (!flags.GetString("csv").empty()) {
     std::ofstream csv(flags.GetString("csv"));

@@ -38,10 +38,18 @@ int Run(int argc, char** argv) {
   std::map<std::string, int> feature_counts;
   RunningStat actual;
   RunningStat prediction_error;
+  std::map<std::string, int> fault_counts;
   int switches = 0;
   int infeasible = 0;
   int frames = 0;
+  int decisions = 0;
   for (const DecisionRecord& record : records) {
+    if (record.event == "fault") {
+      // Fault events carry the failure kind in branch_id.
+      ++fault_counts[record.branch_id];
+      continue;
+    }
+    ++decisions;
     branch_counts[record.branch_id] += record.gof_length;
     for (const std::string& feature : record.features) {
       ++feature_counts[feature];
@@ -56,7 +64,7 @@ int Run(int argc, char** argv) {
     frames += record.gof_length;
   }
 
-  std::cout << records.size() << " decisions over " << frames << " frames; "
+  std::cout << decisions << " decisions over " << frames << " frames; "
             << switches << " switches, " << infeasible << " infeasible.\n"
             << "per-frame latency: mean " << FmtDouble(actual.mean(), 2)
             << " ms, max " << FmtDouble(actual.max(), 2) << " ms\n"
@@ -82,10 +90,17 @@ int Run(int argc, char** argv) {
     std::cout << "\nContent features used per decision:\n";
     for (const auto& [feature, count] : feature_counts) {
       std::cout << "  " << feature << ": " << count << " ("
-                << FmtDouble(100.0 * count / records.size(), 1) << "% of decisions)\n";
+                << FmtDouble(100.0 * count / std::max(decisions, 1), 1)
+                << "% of decisions)\n";
     }
   } else {
     std::cout << "\nNo content features were used (content-agnostic run).\n";
+  }
+  if (!fault_counts.empty()) {
+    std::cout << "\nFault events:\n";
+    for (const auto& [kind, count] : fault_counts) {
+      std::cout << "  " << kind << ": " << count << "\n";
+    }
   }
   return 0;
 }
