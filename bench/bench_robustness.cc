@@ -1,12 +1,18 @@
 // Robustness under injected faults: LiteReconfig with graceful degradation
-// (watchdog + retry/backoff + coast mode + cheapest-branch fallback) against
-// the same runtime with degradation disabled, ApproxDet, and SSD+, across the
-// none/mild/moderate/severe fault schedules on TX2 at the 33.3 ms SLO.
+// (watchdog + retry/backoff + coast mode + cheapest-branch fallback) and with
+// the predictive layer on top (contention forecasting + staged headroom-first
+// degradation + drift-triggered recalibration), against the same runtime with
+// degradation disabled, ApproxDet, and SSD+, across the none/mild/moderate/
+// severe step schedules plus the ramp and Xavier-profile schedules on TX2 at
+// the 33.3 ms SLO.
 //
-// Acceptance gate (exit status): with degradation on, LiteReconfig must
-// (a) never abort a stream — every video emits all its frames — and
-// (b) miss strictly fewer deadlines than the degradation-off runtime under the
-// moderate and severe schedules.
+// Acceptance gates (exit status):
+//   (a) LiteReconfig (degrade on, and predictive) never aborts a stream —
+//       every video emits all its frames;
+//   (b) degradation on misses strictly fewer deadlines than degradation off
+//       under the moderate and severe schedules;
+//   (c) the predictive runtime misses strictly fewer deadlines than the
+//       reactive degrade runtime under the ramp and severe_xavier schedules.
 #include <cstdlib>
 #include <iostream>
 
@@ -22,6 +28,7 @@ constexpr uint64_t kFaultSeed = 17;
 struct ProtocolCase {
   std::string name;
   bool degrade = true;
+  bool predictive = false;
 };
 
 std::unique_ptr<Protocol> MakeProtocol(const Workbench& wb,
@@ -45,13 +52,15 @@ int Run(int argc, char** argv) {
   for (const SyntheticVideo& video : wb.validation().videos) {
     total_frames += static_cast<size_t>(video.frame_count());
   }
-  const std::vector<std::string> schedules = {"none", "mild", "moderate",
-                                              "severe"};
+  const std::vector<std::string> schedules = {
+      "none", "mild", "moderate", "severe", "ramp", "mild_xavier",
+      "severe_xavier"};
   const std::vector<ProtocolCase> protocols = {
-      {"LiteReconfig", /*degrade=*/true},
-      {"LiteReconfig-NoDegrade", /*degrade=*/false},
-      {"ApproxDet", /*degrade=*/true},
-      {"SSD+", /*degrade=*/true},
+      {"LiteReconfig", /*degrade=*/true, /*predictive=*/false},
+      {"LiteReconfig-Predictive", /*degrade=*/true, /*predictive=*/true},
+      {"LiteReconfig-NoDegrade", /*degrade=*/false, /*predictive=*/false},
+      {"ApproxDet", /*degrade=*/true, /*predictive=*/false},
+      {"SSD+", /*degrade=*/true, /*predictive=*/false},
   };
 
   std::cout << "=== Robustness: fault injection on TX2, SLO "
@@ -62,8 +71,10 @@ int Run(int argc, char** argv) {
     FaultSpec spec = *FaultSpec::FromName(schedule);
     for (const ProtocolCase& pc : protocols) {
       GridCell cell;
-      std::string protocol_name =
-          pc.name == "LiteReconfig-NoDegrade" ? "LiteReconfig" : pc.name;
+      std::string protocol_name = pc.name == "LiteReconfig-NoDegrade" ||
+                                          pc.name == "LiteReconfig-Predictive"
+                                      ? "LiteReconfig"
+                                      : pc.name;
       cell.make_protocol = [&wb, protocol_name] {
         return MakeProtocol(wb, protocol_name);
       };
@@ -72,6 +83,7 @@ int Run(int argc, char** argv) {
       cell.config.faults = spec;
       cell.config.fault_seed = kFaultSeed;
       cell.config.degrade = pc.degrade;
+      cell.config.predictive = pc.predictive;
       cells.push_back(std::move(cell));
     }
   }
@@ -82,9 +94,11 @@ int Run(int argc, char** argv) {
   for (const std::string& schedule : schedules) {
     std::cout << "\n--- fault schedule: " << schedule << " ---\n";
     TablePrinter table({"Protocol", "mAP (%)", "P95 (ms)", "Misses", "Injected",
-                        "Absorbed", "Degraded", "Recovery (GoFs)"});
+                        "Absorbed", "Degraded", "Recovery (GoFs)", "Recal",
+                        "Replans"});
     int degrade_misses = -1;
     int naive_misses = -1;
+    int predictive_misses = -1;
     for (const ProtocolCase& pc : protocols) {
       const EvalResult& result = results[cell_index++];
       table.AddRow({pc.name, MapCell(result, kSloMs), LatencyCell(result),
@@ -92,17 +106,23 @@ int Run(int argc, char** argv) {
                     std::to_string(result.faults_injected),
                     std::to_string(result.faults_absorbed),
                     std::to_string(result.degraded_frames),
-                    FmtDouble(result.mean_recovery_gofs, 2)});
-      if (pc.name == "LiteReconfig") {
-        degrade_misses = result.deadline_misses;
+                    FmtDouble(result.mean_recovery_gofs, 2),
+                    std::to_string(result.recalibrations),
+                    std::to_string(result.preemptive_replans)});
+      if (pc.name == "LiteReconfig" || pc.name == "LiteReconfig-Predictive") {
         if (result.frames != total_frames) {
-          std::cout << "GATE FAIL: LiteReconfig emitted " << result.frames
+          std::cout << "GATE FAIL: " << pc.name << " emitted " << result.frames
                     << " of " << total_frames << " frames under '" << schedule
                     << "'\n";
           gate_ok = false;
         }
+      }
+      if (pc.name == "LiteReconfig") {
+        degrade_misses = result.deadline_misses;
       } else if (pc.name == "LiteReconfig-NoDegrade") {
         naive_misses = result.deadline_misses;
+      } else if (pc.name == "LiteReconfig-Predictive") {
+        predictive_misses = result.deadline_misses;
       }
     }
     table.Print(std::cout);
@@ -116,6 +136,28 @@ int Run(int argc, char** argv) {
         std::cout << "gate: degradation on missed " << degrade_misses
                   << " deadlines vs " << naive_misses << " off ("
                   << schedule << ")\n";
+      }
+    }
+    if (schedule == "ramp" || schedule == "severe_xavier") {
+      if (predictive_misses >= degrade_misses) {
+        std::cout << "GATE FAIL: predictive missed " << predictive_misses
+                  << " deadlines vs " << degrade_misses << " reactive under '"
+                  << schedule << "'\n";
+        gate_ok = false;
+      } else {
+        std::cout << "gate: predictive missed " << predictive_misses
+                  << " deadlines vs " << degrade_misses << " reactive ("
+                  << schedule << ")\n";
+      }
+    }
+    if (schedule == "none") {
+      // The predictive machinery must be inert without faults: identical
+      // deadline-miss counts to the reactive runtime.
+      if (predictive_misses != degrade_misses) {
+        std::cout << "GATE FAIL: predictive and reactive differ on the "
+                  << "no-fault path (" << predictive_misses << " vs "
+                  << degrade_misses << " misses)\n";
+        gate_ok = false;
       }
     }
   }

@@ -6,6 +6,7 @@
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
+#include "src/sched/contention_estimator.h"
 #include "src/util/rng.h"
 
 namespace litereconfig {
@@ -69,7 +70,13 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
   LatencyModel platform_local = *env.platform;
   const LatencyModel* platform = &platform_local;
   FaultRuntime faults(env.faults, spec.seed, video.frame_count(), env.fault_seed,
-                      env.degrade, env.platform->contention().level());
+                      env.degrade, env.platform->contention().level(),
+                      1000.0 / spec.fps);
+  // Predictive mode: ApproxDet gets the same online contention estimator as
+  // LiteReconfig (fair comparison) — plan at the forecast contention and
+  // re-plan ahead of a forecast burst end instead of the binary fallback.
+  bool predictive = env.predictive && env.degrade && faults.active();
+  ContentionEstimator estimator;
   {
     // Preheat pass (see LiteReconfigProtocol): ApproxDet is contention-aware
     // too, through the same observe-and-calibrate mechanism.
@@ -86,15 +93,31 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     faults.BeginGof(t);
     if (faults.active()) {
       platform_local.set_contention_level(faults.ContentionAt(t));
+      platform_local.set_thermal_scale(faults.ThermalAt(t));
     }
     std::vector<double> light = ComputeLightFeatures(spec.width, spec.height, anchor);
     bool feasible = true;
+    bool forecast_planned = false;
+    // Same staged policy as LiteReconfig-Predictive: keep the reactive
+    // fallback's conservatism, but price decisions at the forecast contention
+    // while a burst is live and re-plan one GoF ahead of a forecast burst end.
+    bool replan_early =
+        predictive && faults.InFallback() && estimator.BurstEndingSoon();
     size_t choice;
-    if (faults.InFallback()) {
+    if (faults.InFallback() && !replan_early) {
       // Watchdog fallback: with slo=0 every branch is infeasible and Decide
       // returns its cheapest branch; re-plan once a clean GoF clears the fault.
       choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, /*slo_ms=*/0.0,
                       video.frame_count() - t, nullptr);
+    } else if (predictive && estimator.in_burst()) {
+      // Forecast pressure: price branches at the forecast contention so the
+      // choice is the best that still fits if the burst persists.
+      if (replan_early) {
+        faults.RecordPreemptiveReplan();
+      }
+      choice = Decide(light, gpu_cal * estimator.ForecastScale(), /*cpu_cal=*/1.0,
+                      env.slo_ms, video.frame_count() - t, &feasible);
+      forecast_planned = true;
     } else {
       choice = Decide(light, gpu_cal, /*cpu_cal=*/1.0, env.slo_ms,
                       video.frame_count() - t, &feasible);
@@ -191,6 +214,11 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     // With degradation armed, outliers are discarded from calibration.
     double cal_sample = env.degrade ? det_nominal : det_sample;
     double profiled = models_->latency.DetectorMs(choice) * kKernelSlowdown;
+    if (predictive && profiled > 0.0) {
+      // Burst tracking on the detector's residual inflation (see
+      // LiteReconfigProtocol): branch-independent, survives fallback GoFs.
+      estimator.Observe(profiled * gpu_cal, cal_sample);
+    }
     if (profiled > 0.0) {
       gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
                 kCalibrationEwma * (cal_sample / profiled);
@@ -216,7 +244,7 @@ VideoRunStats ApproxDetProtocol::RunVideo(const SyntheticVideo& video,
     stats.gof_lengths.push_back(static_cast<int>(len));
     stats.branches_used.insert(branch.Id());
     faults.OnGofComplete(gof_frame, env.slo_ms, static_cast<int>(len),
-                         /*coasted=*/false);
+                         /*coasted=*/false, forecast_planned);
     anchor = gof.anchor_detections;
     for (DetectionList& frame : gof.frames) {
       stats.frames.push_back(std::move(frame));

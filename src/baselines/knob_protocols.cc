@@ -147,12 +147,14 @@ VideoRunStats StaticKnobProtocol::RunVideo(const SyntheticVideo& video,
   const LatencyModel* platform = &platform_local;
   FaultRuntime faults(env.faults, video.spec().seed, video.frame_count(),
                       env.fault_seed, env.degrade,
-                      env.platform->contention().level());
+                      env.platform->contention().level(),
+                      1000.0 / video.spec().fps);
   int t = 0;
   while (t < video.frame_count()) {
     faults.BeginGof(t);
     if (faults.active()) {
       platform_local.set_contention_level(faults.ContentionAt(t));
+      platform_local.set_thermal_scale(faults.ThermalAt(t));
     }
     double det_mean =
         platform->GpuScaledMs(BaselineDetectorTx2Ms(family_, chosen_.shape));

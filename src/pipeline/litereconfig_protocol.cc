@@ -1,10 +1,13 @@
 #include "src/pipeline/litereconfig_protocol.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
+#include "src/sched/contention_estimator.h"
+#include "src/sched/drift.h"
 #include "src/util/rng.h"
 
 namespace litereconfig {
@@ -17,6 +20,17 @@ constexpr double kCalibrationEwma = 0.3;
 constexpr int kTailFrames = 12;
 // Object count assumed when ranking branches for the watchdog fallback.
 constexpr int kFallbackObjectCount = 3;
+// Predictive robustness: the drift monitor runs per video stream (tens of
+// GoFs), so its window and bias threshold are sized well below the offline
+// defaults — a thermal ramp must be caught before the stream ends.
+constexpr size_t kDriftWindow = 6;
+constexpr double kDriftBiasThreshold = 0.12;
+// After a content-drift re-anchor, the accuracy blend trusts the heavy
+// content-aware models more than the stale light-only baseline.
+constexpr double kReanchoredHeavyBlend = 0.75;
+// Clamp on the drift-driven CPU recalibration multiplier.
+constexpr double kCpuCalFloor = 0.25;
+constexpr double kCpuCalCeil = 4.0;
 
 TrackerConfig CoastTracker(const Branch& branch) {
   return branch.has_tracker ? branch.tracker
@@ -82,6 +96,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   // each stream re-measures contention during its own preheat, which keeps
   // per-video runs independent (the parallel runner's determinism contract).
   double gpu_cal = 1.0;
+  double cpu_cal = 1.0;
   bool charge_overhead = scheduler_.config().charge_feature_overhead;
   // Per-stream platform copy: fault-driven contention bursts mutate only this
   // stream's contention level, never the model shared across the fan-out.
@@ -89,7 +104,27 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   const LatencyModel* platform = &platform_local;
   FaultRuntime faults(env.faults, video.spec().seed, video.frame_count(),
                       env.fault_seed, env.degrade,
-                      env.platform->contention().level());
+                      env.platform->contention().level(),
+                      1000.0 / video.spec().fps);
+  // Predictive robustness (env.predictive): forecast the next GoF's residual
+  // contention, stage degradation by headroom instead of the binary fallback,
+  // and close the drift loop (recalibrate / re-anchor). Engaged only when
+  // faults are injected with the degradation path armed, so the no-fault run
+  // is numerically identical to the non-predictive one.
+  bool predictive = env.predictive && env.degrade && faults.active();
+  ContentionEstimator estimator;
+  DriftConfig drift_config;
+  drift_config.window = kDriftWindow;
+  drift_config.latency_rel_threshold = kDriftBiasThreshold;
+  DriftMonitor drift(drift_config);
+  double heavy_blend = 0.5;
+  // Measured CPU-side calibration (observed / profiled tracker time EWMA).
+  // Only *applied* to cpu_cal when the drift monitor flags sustained latency
+  // drift: the measurement is always roughly right (so a spurious trigger is
+  // harmless), but folding it in continuously would perturb the no-drift
+  // scheduling behaviour this runtime must preserve.
+  double cpu_ratio = 1.0;
+  LatencyModel profiled_platform(models_->device, 0.0);
   // Watchdog fallback target: the lowest-latency end of the Pareto frontier.
   size_t cheapest_branch = 0;
   if (faults.active()) {
@@ -122,10 +157,24 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     faults.BeginGof(t);
     if (faults.active()) {
       platform_local.set_contention_level(faults.ContentionAt(t));
+      platform_local.set_thermal_scale(faults.ThermalAt(t));
     }
     size_t fault_mark = faults.accounting().failures.size();
     SchedulerDecision decision;
-    if (faults.InFallback()) {
+    bool forecast_planned = false;
+    bool replan_early = false;
+    // Staged policy on top of the reactive fallback: the watchdog fallback
+    // stays exactly as conservative as before (cheapest branch until clean),
+    // but (a) while the estimator tracks a live burst and the runtime is NOT
+    // yet in fallback, the decision is priced at the forecast contention and
+    // prefers headroom — absorbing the burst before it ever causes the miss
+    // that would arm the fallback; and (b) when the burst is forecast to end,
+    // the scheduler re-plans one GoF early instead of waiting for a clean GoF,
+    // still priced at the burst level as the safety margin.
+    if (predictive) {
+      replan_early = faults.InFallback() && estimator.BurstEndingSoon();
+    }
+    if (faults.InFallback() && !replan_early) {
       // Watchdog fallback: skip the full scheduler pass and run the cheapest
       // branch until a clean GoF clears the fault, then re-plan.
       decision.branch_index = cheapest_branch;
@@ -138,6 +187,18 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       ctx.slo_ms = env.slo_ms;
       ctx.frames_remaining = video.frame_count() - t;
       ctx.gpu_cal = gpu_cal;
+      ctx.cpu_cal = cpu_cal;
+      if (predictive) {
+        ctx.heavy_blend = heavy_blend;
+        if (estimator.in_burst()) {
+          ctx.gpu_cal = gpu_cal * estimator.ForecastScale();
+          ctx.prefer_headroom = true;
+          forecast_planned = true;
+          if (replan_early) {
+            faults.RecordPreemptiveReplan();
+          }
+        }
+      }
       decision = scheduler_.Decide(ctx);
     }
     if (decision.infeasible && current.has_value() &&
@@ -230,6 +291,14 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     // single stall cannot poison the latency predictions.
     double cal_sample = env.degrade ? det_nominal : det_sample;
     double profiled = models_->latency.DetectorMs(decision.branch_index);
+    double gpu_cal_at_decision = gpu_cal;
+    if (predictive && profiled > 0.0) {
+      // Burst tracking on the detector's residual inflation: what this GoF's
+      // detector cost vs. what the calibrated model expected. The signal is
+      // branch-independent (a ratio), so it keeps working through fallback
+      // GoFs running the cheapest branch.
+      estimator.Observe(profiled * gpu_cal, cal_sample);
+    }
     if (profiled > 0.0 && scheduler_.config().use_contention_calibration) {
       gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
                 kCalibrationEwma * (cal_sample / profiled);
@@ -240,6 +309,15 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       for (size_t i = 1; i < gof.frames.size(); ++i) {
         track_total += platform->Sample(
             platform->TrackerMs(branch.tracker, tracked), rng);
+      }
+      if (predictive && gof.frames.size() > 1) {
+        double profiled_track =
+            profiled_platform.TrackerMs(branch.tracker, tracked) *
+            static_cast<double>(gof.frames.size() - 1);
+        if (profiled_track > 0.0) {
+          cpu_ratio = (1.0 - kCalibrationEwma) * cpu_ratio +
+                      kCalibrationEwma * (track_total / profiled_track);
+        }
       }
     }
     double len = static_cast<double>(gof.frames.size());
@@ -254,9 +332,18 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     stats.gof_frame_ms.push_back(gof_total / len);
     stats.gof_lengths.push_back(static_cast<int>(len));
     stats.branches_used.insert(branch.Id());
-    faults.OnGofComplete(gof_total / len, env.slo_ms, static_cast<int>(len),
-                         /*coasted=*/false);
+    double observed_frame_ms = gof_total / len;
+    faults.OnGofComplete(observed_frame_ms, env.slo_ms, static_cast<int>(len),
+                         /*coasted=*/false, forecast_planned);
     if (trace_ != nullptr) {
+      if (replan_early) {
+        DecisionRecord replan;
+        replan.event = "replan";
+        replan.video_seed = video.spec().seed;
+        replan.frame = t;
+        replan.branch_id = branch.Id();
+        trace_->Write(replan);
+      }
       DecisionRecord record;
       record.video_seed = video.spec().seed;
       record.frame = t;
@@ -268,14 +355,63 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       record.predicted_frame_ms = decision.predicted_frame_ms;
       record.scheduler_cost_ms = decision.scheduler_cost_ms;
       record.switch_cost_ms = switch_sample;
-      record.actual_frame_ms = gof_total / len;
+      record.actual_frame_ms = observed_frame_ms;
       record.gof_length = static_cast<int>(len);
       record.switched = switch_sample > 0.0;
       record.infeasible = decision.infeasible;
+      record.missed = observed_frame_ms > env.slo_ms;
       record.gpu_cal = gpu_cal;
       trace_->Write(record);
     }
     TraceFaults(faults, fault_mark, video.spec().seed);
+    if (predictive) {
+      // Slow loop: the drift monitor compares the decision-time nominal
+      // prediction (branch cost + the amortized scheduler/switch overheads it
+      // cannot predict away) against the realized per-frame latency.
+      std::vector<double> light = ComputeLightFeatures(
+          video.spec().width, video.spec().height, anchor);
+      double reference_ms = models_->latency.PredictFrameMs(
+          decision.branch_index, light, gpu_cal_at_decision, cpu_cal);
+      reference_ms +=
+          ((charge_overhead ? decision.scheduler_cost_ms : 0.0) + switch_sample) /
+          len;
+      drift.ObserveLatency(reference_ms, observed_frame_ms);
+      drift.ObserveDetections(gof.anchor_detections);
+      DriftStatus status = drift.Check();
+      if (status.latency_drift) {
+        // Sustained bias that survived the GPU calibration loop: the residual
+        // lives on the CPU side (thermal throttling slows the whole SoC, but
+        // the contention EWMA only tracks the detector). Recalibrate cpu_cal
+        // to the *measured* tracker ratio — not the inferred bias, so a
+        // trigger caused by GPU outliers simply re-asserts the measurement —
+        // and restart the drift window from the recalibrated regime.
+        cpu_cal = std::clamp(cpu_ratio, kCpuCalFloor, kCpuCalCeil);
+        drift.Rebaseline();
+        faults.RecordRecalibration();
+        if (trace_ != nullptr) {
+          DecisionRecord event;
+          event.event = "recalibrate";
+          event.video_seed = video.spec().seed;
+          event.frame = t;
+          event.branch_id = "latency";
+          trace_->Write(event);
+        }
+      } else if (status.content_drift) {
+        // Content regime changed relative to the anchor window: trust the
+        // content-aware accuracy models more than the stale light-only prior.
+        heavy_blend = kReanchoredHeavyBlend;
+        drift.Rebaseline();
+        faults.RecordReanchor();
+        if (trace_ != nullptr) {
+          DecisionRecord event;
+          event.event = "reanchor";
+          event.video_seed = video.spec().seed;
+          event.frame = t;
+          event.branch_id = "content";
+          trace_->Write(event);
+        }
+      }
+    }
     anchor = gof.anchor_detections;
     for (DetectionList& frame : gof.frames) {
       stats.frames.push_back(std::move(frame));

@@ -41,6 +41,11 @@ struct RunEnv {
   const FaultSpec* faults = nullptr;
   uint64_t fault_seed = 0;
   bool degrade = true;
+  // Predictive robustness: arm the online contention estimator, the staged
+  // (headroom-first) degradation policy, and the drift-triggered
+  // recalibration loop. Only takes effect when faults are injected and
+  // `degrade` is on; the no-fault path is untouched by construction.
+  bool predictive = false;
 };
 
 // What one protocol did on one video.

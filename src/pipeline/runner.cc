@@ -25,6 +25,7 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   env.faults = config.faults.Any() ? &config.faults : nullptr;
   env.fault_seed = config.fault_seed;
   env.degrade = config.degrade;
+  env.predictive = config.predictive;
 
   protocol.Reset();
 
@@ -84,6 +85,10 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
     result.faults_injected += stats.robustness.faults_injected;
     result.faults_absorbed += stats.robustness.faults_absorbed;
     result.degraded_frames += stats.robustness.degraded_frames;
+    result.recalibrations += stats.robustness.recalibrations;
+    result.reanchors += stats.robustness.reanchors;
+    result.preemptive_replans += stats.robustness.preemptive_replans;
+    result.forecast_absorbed += stats.robustness.forecast_absorbed;
     recovery_events += stats.robustness.recovery_events;
     recovery_gofs += stats.robustness.recovery_gofs;
     detector_ms += stats.detector_ms;
@@ -134,6 +139,10 @@ std::string EvalResultJson(const EvalResult& result) {
      << ",\"faults_absorbed\":" << result.faults_absorbed
      << ",\"degraded_frames\":" << result.degraded_frames
      << ",\"mean_recovery_gofs\":" << FmtDouble(result.mean_recovery_gofs, 3)
+     << ",\"recalibrations\":" << result.recalibrations
+     << ",\"reanchors\":" << result.reanchors
+     << ",\"preemptive_replans\":" << result.preemptive_replans
+     << ",\"forecast_absorbed\":" << result.forecast_absorbed
      << ",\"failures\":[";
   for (size_t i = 0; i < result.failures.size(); ++i) {
     const FailureReport& failure = result.failures[i];

@@ -30,6 +30,9 @@ struct EvalConfig {
   FaultSpec faults;
   uint64_t fault_seed = 1;
   bool degrade = true;
+  // Predictive robustness (contention forecasting, staged degradation, drift
+  // recalibration); only meaningful with faults injected and degrade on.
+  bool predictive = false;
 };
 
 struct EvalResult {
@@ -61,6 +64,13 @@ struct EvalResult {
   // Mean GoFs from a fault (or deadline miss) back to a clean GoF; 0.0 when no
   // recovery episode completed.
   double mean_recovery_gofs = 0.0;
+  // Predictive-robustness accounting: drift-triggered latency recalibrations,
+  // accuracy re-anchors, pre-emptive re-plans ahead of forecast burst ends,
+  // and faults absorbed by GoFs planned at forecast contention.
+  int recalibrations = 0;
+  int reanchors = 0;
+  int preemptive_replans = 0;
+  int forecast_absorbed = 0;
   // Structured per-video failure reports, tagged with the video seed.
   std::vector<FailureReport> failures;
 

@@ -64,6 +64,7 @@ void TraceWriter::Write(const DecisionRecord& record) {
         << ",\"gof\":" << record.gof_length
         << ",\"switched\":" << (record.switched ? "true" : "false")
         << ",\"infeasible\":" << (record.infeasible ? "true" : "false")
+        << ",\"missed\":" << (record.missed ? "true" : "false")
         << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4);
   }
   line << "}\n";
@@ -146,6 +147,9 @@ std::optional<DecisionRecord> TraceReader::ParseLine(const std::string& line) {
   }
   if (auto v = FindValue(line, "infeasible")) {
     record.infeasible = *v == "true";
+  }
+  if (auto v = FindValue(line, "missed")) {
+    record.missed = *v == "true";
   }
   if (auto v = FindValue(line, "gpu_cal")) {
     record.gpu_cal = std::strtod(v->c_str(), nullptr);

@@ -19,7 +19,9 @@ namespace litereconfig {
 
 struct DecisionRecord {
   // "decision" for scheduler decisions; "fault" for fault-injection events
-  // (then branch_id carries the failure kind name).
+  // (then branch_id carries the failure kind name); "recalibrate" / "reanchor"
+  // for drift-triggered model updates (branch_id carries the drift kind);
+  // "replan" for pre-emptive re-plans ahead of a forecast burst end.
   std::string event = "decision";
   uint64_t video_seed = 0;
   int frame = 0;
@@ -35,6 +37,8 @@ struct DecisionRecord {
   int gof_length = 0;
   bool switched = false;
   bool infeasible = false;
+  // The realized GoF blew the SLO (a deadline miss).
+  bool missed = false;
   double gpu_cal = 1.0;
 };
 

@@ -1,6 +1,8 @@
 #include "src/platform/faults.h"
 
 #include <algorithm>
+#include <cctype>
+#include <string>
 
 #include "src/util/rng.h"
 
@@ -13,6 +15,15 @@ constexpr uint64_t kBurstSalt = 0xb1257ull;
 constexpr uint64_t kOutlierSalt = 0x0071e5ull;
 constexpr uint64_t kFailureSalt = 0xdef41ull;
 constexpr uint64_t kDropSalt = 0xd509ull;
+constexpr uint64_t kRampSalt = 0x7412a9ull;
+
+std::string AsciiLower(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
 
 }  // namespace
 
@@ -28,13 +39,16 @@ std::string_view FailureKindName(FailureKind kind) {
       return "contention_burst";
     case FailureKind::kLatencyOutlier:
       return "latency_outlier";
+    case FailureKind::kThermalRamp:
+      return "thermal_ramp";
   }
   return "unknown";
 }
 
 bool FaultSpec::Any() const {
   return bursts_per_100_frames > 0.0 || outlier_prob > 0.0 ||
-         detector_failure_prob > 0.0 || frame_drop_prob > 0.0;
+         detector_failure_prob > 0.0 || frame_drop_prob > 0.0 ||
+         ramps_per_100_frames > 0.0;
 }
 
 FaultSpec FaultSpec::None() { return FaultSpec{}; }
@@ -78,20 +92,91 @@ FaultSpec FaultSpec::Severe() {
   return spec;
 }
 
+FaultSpec FaultSpec::Ramp() {
+  // Pure thermal drift: the device throttles mid-stream, every kernel (CPU and
+  // GPU alike) slows toward the plateau factor, then cools down. A sprinkle of
+  // latency outliers keeps the watchdog honest; no bursts, failures, or drops.
+  FaultSpec spec;
+  spec.ramps_per_100_frames = 1.5;
+  spec.ramp_peak_scale = 1.5;
+  spec.ramp_up_frames = 40;
+  spec.ramp_plateau_frames = 80;
+  spec.ramp_down_frames = 30;
+  spec.outlier_prob = 0.02;
+  spec.outlier_scale = 2.5;
+  return spec;
+}
+
+FaultSpec FaultSpec::MildXavier() {
+  // Xavier shape: shorter, more frequent contention bursts and heavier latency
+  // outliers than the TX2 presets, plus gentle DVFS ramps.
+  FaultSpec spec;
+  spec.bursts_per_100_frames = 1.2;
+  spec.burst_level = 0.40;
+  spec.burst_frames = 16;
+  spec.outlier_prob = 0.04;
+  spec.outlier_scale = 3.5;
+  spec.detector_failure_prob = 0.01;
+  spec.failure_persistence = 0.30;
+  spec.frame_drop_prob = 0.005;
+  spec.ramps_per_100_frames = 0.6;
+  spec.ramp_peak_scale = 1.3;
+  spec.ramp_up_frames = 40;
+  spec.ramp_plateau_frames = 60;
+  spec.ramp_down_frames = 30;
+  return spec;
+}
+
+FaultSpec FaultSpec::SevereXavier() {
+  FaultSpec spec;
+  spec.bursts_per_100_frames = 3.0;
+  spec.burst_level = 0.55;
+  spec.burst_frames = 18;
+  spec.outlier_prob = 0.12;
+  spec.outlier_scale = 5.0;
+  spec.detector_failure_prob = 0.08;
+  spec.failure_persistence = 0.55;
+  spec.frame_drop_prob = 0.02;
+  spec.ramps_per_100_frames = 1.2;
+  spec.ramp_peak_scale = 1.55;
+  spec.ramp_up_frames = 30;
+  spec.ramp_plateau_frames = 80;
+  spec.ramp_down_frames = 30;
+  return spec;
+}
+
 std::optional<FaultSpec> FaultSpec::FromName(std::string_view name) {
-  if (name == "none") {
+  std::string lower = AsciiLower(name);
+  if (lower == "none") {
     return None();
   }
-  if (name == "mild") {
+  if (lower == "mild") {
     return Mild();
   }
-  if (name == "moderate") {
+  if (lower == "moderate") {
     return Moderate();
   }
-  if (name == "severe") {
+  if (lower == "severe") {
     return Severe();
   }
+  if (lower == "ramp") {
+    return Ramp();
+  }
+  if (lower == "mild_xavier") {
+    return MildXavier();
+  }
+  if (lower == "severe_xavier") {
+    return SevereXavier();
+  }
   return std::nullopt;
+}
+
+const std::vector<std::string_view>& FaultSpec::PresetNames() {
+  static const std::vector<std::string_view>* names =
+      new std::vector<std::string_view>{"none",     "mild", "moderate",
+                                        "severe",   "ramp", "mild_xavier",
+                                        "severe_xavier"};
+  return *names;
 }
 
 FaultPlan::FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count,
@@ -99,20 +184,43 @@ FaultPlan::FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count
     : spec_(spec),
       seed_(HashKeys({video_seed, fault_seed, kPlanSalt})),
       active_(spec.Any()) {
-  if (!active_ || spec_.bursts_per_100_frames <= 0.0 || spec_.burst_frames <= 0) {
+  if (!active_) {
     return;
   }
-  // Bursts are drawn from one per-video substream and materialized up front:
-  // schedule shape depends only on the seeds, never on how the run queries it.
-  Pcg32 rng(HashKeys({seed_, kBurstSalt}));
-  double start_prob = std::min(1.0, spec_.bursts_per_100_frames / 100.0);
-  int frame = 0;
-  while (frame < frame_count) {
-    if (rng.Bernoulli(start_prob)) {
-      bursts_.push_back(Burst{frame, spec_.burst_frames, spec_.burst_level});
-      frame += spec_.burst_frames;
-    } else {
-      ++frame;
+  if (spec_.bursts_per_100_frames > 0.0 && spec_.burst_frames > 0) {
+    // Bursts are drawn from one per-video substream and materialized up front:
+    // schedule shape depends only on the seeds, never on how the run queries it.
+    Pcg32 rng(HashKeys({seed_, kBurstSalt}));
+    double start_prob = std::min(1.0, spec_.bursts_per_100_frames / 100.0);
+    int frame = 0;
+    while (frame < frame_count) {
+      if (rng.Bernoulli(start_prob)) {
+        bursts_.push_back(Burst{frame, spec_.burst_frames, spec_.burst_level});
+        frame += spec_.burst_frames;
+      } else {
+        ++frame;
+      }
+    }
+  }
+  int ramp_span =
+      spec_.ramp_up_frames + spec_.ramp_plateau_frames + spec_.ramp_down_frames;
+  if (spec_.ramps_per_100_frames > 0.0 && ramp_span > 0 &&
+      spec_.ramp_peak_scale > 1.0) {
+    // Thermal ramps come from their own substream (independent of the burst
+    // schedule) and never overlap each other: heat dissipates before the SoC
+    // can throttle again.
+    Pcg32 rng(HashKeys({seed_, kRampSalt}));
+    double start_prob = std::min(1.0, spec_.ramps_per_100_frames / 100.0);
+    int frame = 0;
+    while (frame < frame_count) {
+      if (rng.Bernoulli(start_prob)) {
+        ramps_.push_back(Ramp{frame, spec_.ramp_up_frames,
+                              spec_.ramp_plateau_frames, spec_.ramp_down_frames,
+                              spec_.ramp_peak_scale});
+        frame += ramp_span;
+      } else {
+        ++frame;
+      }
     }
   }
 }
@@ -132,6 +240,43 @@ int FaultPlan::BurstIndexAt(int frame) const {
 double FaultPlan::BurstLevelAt(int frame) const {
   int index = BurstIndexAt(frame);
   return index < 0 ? 0.0 : bursts_[static_cast<size_t>(index)].level;
+}
+
+int FaultPlan::RampIndexAt(int frame) const {
+  for (size_t i = 0; i < ramps_.size(); ++i) {
+    const Ramp& ramp = ramps_[i];
+    if (frame >= ramp.start &&
+        frame < ramp.start + ramp.up + ramp.plateau + ramp.down) {
+      return static_cast<int>(i);
+    }
+    if (ramp.start > frame) {
+      break;
+    }
+  }
+  return -1;
+}
+
+double FaultPlan::ThermalScaleAt(int frame) const {
+  int index = RampIndexAt(frame);
+  if (index < 0) {
+    return 1.0;
+  }
+  const Ramp& ramp = ramps_[static_cast<size_t>(index)];
+  int offset = frame - ramp.start;
+  double rise = ramp.peak - 1.0;
+  if (offset < ramp.up) {
+    // Heating: linear climb toward the throttled plateau.
+    return 1.0 + rise * (static_cast<double>(offset) + 1.0) /
+                     static_cast<double>(ramp.up);
+  }
+  offset -= ramp.up;
+  if (offset < ramp.plateau) {
+    return ramp.peak;
+  }
+  offset -= ramp.plateau;
+  // Cool-down: linear fall back to nominal.
+  return ramp.peak - rise * (static_cast<double>(offset) + 1.0) /
+                         static_cast<double>(ramp.down);
 }
 
 double FaultPlan::DetectorOutlierScale(int frame) const {
@@ -165,11 +310,12 @@ bool FaultPlan::FrameDropped(int frame) const {
 
 FaultRuntime::FaultRuntime(const FaultSpec* spec, uint64_t video_seed,
                            int frame_count, uint64_t fault_seed, bool degrade,
-                           double base_contention)
+                           double base_contention, double frame_interval_ms)
     : plan_(spec != nullptr ? FaultPlan(*spec, video_seed, frame_count, fault_seed)
                             : FaultPlan()),
       degrade_(degrade),
-      base_contention_(base_contention) {}
+      base_contention_(base_contention),
+      frame_interval_ms_(frame_interval_ms) {}
 
 void FaultRuntime::RecordFault(FailureKind kind, int frame) {
   ++acc_.faults_injected;
@@ -191,10 +337,19 @@ void FaultRuntime::BeginGof(int frame) {
     last_burst_recorded_ = burst;
     RecordFault(FailureKind::kContentionBurst, frame);
   }
+  int ramp = plan_.RampIndexAt(frame);
+  if (ramp >= 0 && ramp != last_ramp_recorded_) {
+    last_ramp_recorded_ = ramp;
+    RecordFault(FailureKind::kThermalRamp, frame);
+  }
 }
 
 double FaultRuntime::ContentionAt(int frame) const {
   return base_contention_ + plan_.BurstLevelAt(frame);
+}
+
+double FaultRuntime::ThermalAt(int frame) const {
+  return plan_.ThermalScaleAt(frame);
 }
 
 FaultRuntime::DetectorOutcome FaultRuntime::ResolveDetector(int frame,
@@ -212,7 +367,7 @@ FaultRuntime::DetectorOutcome FaultRuntime::ResolveDetector(int frame,
       out.coast = true;
       return out;
     }
-    out.penalty_ms += kFrameIntervalMs;  // block until the next capture
+    out.penalty_ms += frame_interval_ms_;  // block until the next capture
   }
   int attempt = 0;
   if (degrade_) {
@@ -260,7 +415,7 @@ FaultRuntime::DetectorOutcome FaultRuntime::ResolveDetector(int frame,
 }
 
 void FaultRuntime::OnGofComplete(double frame_ms, double slo_ms, int gof_length,
-                                 bool coasted) {
+                                 bool coasted, bool forecast_planned) {
   bool missed = frame_ms > slo_ms;
   if (missed) {
     ++acc_.deadline_misses;
@@ -273,6 +428,9 @@ void FaultRuntime::OnGofComplete(double frame_ms, double slo_ms, int gof_length,
   }
   if (gof_faults_ > 0 && !missed) {
     acc_.faults_absorbed += gof_faults_;
+    if (forecast_planned) {
+      acc_.forecast_absorbed += gof_faults_;
+    }
   }
   bool clean = gof_faults_ == 0 && !missed;
   if (in_episode_) {

@@ -10,15 +10,24 @@
 //
 // Three layers:
 //   * FaultSpec        — the knobs of an escalating fault schedule
-//                        (none/mild/moderate/severe presets).
-//   * FaultPlan        — the per-video materialization: contention bursts as
-//                        intervals, plus stateless point queries for kernel
-//                        outliers, transient detector failures, and frame drops.
+//                        (none/mild/moderate/severe presets, plus the thermal
+//                        ramp and Xavier-shaped ramp/mild_xavier/severe_xavier
+//                        presets).
+//   * FaultPlan        — the per-video materialization: contention bursts and
+//                        thermal ramps as intervals, plus stateless point
+//                        queries for kernel outliers, transient detector
+//                        failures, and frame drops.
 //   * FaultRuntime     — the per-stream watchdog the protocols drive: bounded
 //                        retry-with-backoff for transient failures, tracker-only
 //                        "coast" GoFs when the detector stays down, deadline-miss
 //                        detection against the SLO, and a forced-fallback state
 //                        (cheapest branch + scheduler re-plan once clean).
+//
+// Thermal ramps model throttling/DVFS drift: a slow multiplicative latency
+// factor that ramps up, plateaus, and cools down — unlike bursts it inflates
+// CPU kernels too, which is exactly the regime the GPU-only calibration loop
+// cannot explain away (the DriftMonitor + recalibration hook in the predictive
+// runtime handles it; see src/sched/contention_estimator.h).
 #ifndef SRC_PLATFORM_FAULTS_H_
 #define SRC_PLATFORM_FAULTS_H_
 
@@ -36,6 +45,7 @@ enum class FailureKind {
   kFrameDrop = 2,        // the capture pipeline dropped the anchor frame
   kContentionBurst = 3,  // a co-located workload spiked GPU contention
   kLatencyOutlier = 4,   // one kernel invocation ran far over its mean
+  kThermalRamp = 5,      // thermal throttling / DVFS drift slowed all kernels
 };
 
 std::string_view FailureKindName(FailureKind kind);
@@ -68,6 +78,14 @@ struct FaultSpec {
   double failure_persistence = 0.35;
   // Probability the GoF's anchor frame capture is dropped.
   double frame_drop_prob = 0.0;
+  // Thermal/DVFS ramps: expected ramp starts per 100 frames, the multiplicative
+  // latency factor at the plateau (applied to GPU *and* CPU kernels), and the
+  // ramp-up / plateau / cool-down phase lengths in frames.
+  double ramps_per_100_frames = 0.0;
+  double ramp_peak_scale = 1.5;
+  int ramp_up_frames = 40;
+  int ramp_plateau_frames = 80;
+  int ramp_down_frames = 30;
 
   bool Any() const;
 
@@ -75,20 +93,36 @@ struct FaultSpec {
   static FaultSpec Mild();
   static FaultSpec Moderate();
   static FaultSpec Severe();
-  // Parses a preset name ("none" | "mild" | "moderate" | "severe").
+  // Pure thermal-throttling schedule: slow multiplicative drift, no bursts.
+  static FaultSpec Ramp();
+  // Xavier-profile schedules: the AGX Xavier's faults are spikier than the
+  // TX2's — short frequent contention bursts, heavier latency outliers — and
+  // its aggressive DVFS adds thermal ramps on top.
+  static FaultSpec MildXavier();
+  static FaultSpec SevereXavier();
+  // Parses a preset name (case-insensitive; see PresetNames()).
   static std::optional<FaultSpec> FromName(std::string_view name);
+  // The valid preset names, for help/error text.
+  static const std::vector<std::string_view>& PresetNames();
 };
 
-// The deterministic per-video fault schedule. Bursts are materialized as
-// intervals at construction; everything else is a stateless pure function of
-// (plan seed, frame, attempt), so queries are safe from any thread and
-// independent of query order.
+// The deterministic per-video fault schedule. Bursts and thermal ramps are
+// materialized as intervals at construction; everything else is a stateless
+// pure function of (plan seed, frame, attempt), so queries are safe from any
+// thread and independent of query order.
 class FaultPlan {
  public:
   struct Burst {
     int start = 0;
     int length = 0;
     double level = 0.0;
+  };
+  struct Ramp {
+    int start = 0;
+    int up = 0;
+    int plateau = 0;
+    int down = 0;
+    double peak = 1.0;
   };
 
   FaultPlan() = default;
@@ -97,11 +131,18 @@ class FaultPlan {
 
   bool active() const { return active_; }
   const std::vector<Burst>& bursts() const { return bursts_; }
+  const std::vector<Ramp>& ramps() const { return ramps_; }
 
   // Index of the burst covering `frame`, or -1.
   int BurstIndexAt(int frame) const;
   // Additional contention level at `frame` (0.0 outside bursts).
   double BurstLevelAt(int frame) const;
+  // Index of the thermal ramp covering `frame`, or -1.
+  int RampIndexAt(int frame) const;
+  // Multiplicative kernel-latency factor of the thermal drift at `frame`:
+  // 1.0 outside ramps, linear 1.0 -> peak over the ramp-up, peak through the
+  // plateau, linear peak -> 1.0 over the cool-down.
+  double ThermalScaleAt(int frame) const;
   // Latency multiplier for the detector invocation anchored at `frame`.
   double DetectorOutlierScale(int frame) const;
   // Whether the detector invocation at `frame` fails on retry `attempt`.
@@ -113,6 +154,7 @@ class FaultPlan {
   uint64_t seed_ = 0;
   bool active_ = false;
   std::vector<Burst> bursts_;
+  std::vector<Ramp> ramps_;
 };
 
 // Robustness accounting carried per video and merged into the evaluation.
@@ -129,8 +171,35 @@ struct FaultAccounting {
   // one. mean recovery = recovery_gofs / recovery_events.
   int recovery_events = 0;
   int recovery_gofs = 0;
+  // Predictive-robustness accounting (the drift loop + contention forecasting;
+  // see src/sched/contention_estimator.h):
+  // latency-model recalibrations triggered by sustained prediction drift;
+  int recalibrations = 0;
+  // accuracy-predictor re-anchorings triggered by content drift;
+  int reanchors = 0;
+  // full re-plans issued one GoF ahead of a forecast burst end (instead of
+  // waiting for a clean GoF, as the reactive fallback does);
+  int preemptive_replans = 0;
+  // injected faults absorbed by a GoF that was planned under forecast pressure
+  // (the scheduler saw the forecast contention and still met the SLO).
+  int forecast_absorbed = 0;
   std::vector<FailureReport> failures;
 };
+
+// Retry policy constants, exposed for tests.
+// Degradation mode: fail fast (a watchdog timeout cuts a hung invocation at
+// this fraction of its mean), retry at most kMaxDetectorRetries times with
+// exponential backoff, then coast.
+inline constexpr int kMaxDetectorRetries = 2;
+inline constexpr double kFailedAttemptFraction = 0.4;
+inline constexpr double kRetryBackoffBaseMs = 2.0;
+// Naive mode: block on the hung kernel, full cost per attempt, hard cap so
+// runs always terminate.
+inline constexpr int kBlockingRetryCap = 12;
+// Default capture interval when the caller does not supply the stream's frame
+// rate (30 fps). Protocols pass 1000 / VideoSpec::fps so the capture-stall
+// charge for a waited-out frame drop matches the video's actual frame rate.
+inline constexpr double kDefaultFrameIntervalMs = 1000.0 / 30.0;
 
 // The per-stream degradation state machine. One instance per RunVideo call;
 // all state is local to the stream, preserving per-video independence.
@@ -138,20 +207,28 @@ class FaultRuntime {
  public:
   // `spec` may be null (no fault injection; the watchdog still counts
   // deadline misses). `base_contention` is the platform's smooth contention
-  // level, onto which bursts stack.
+  // level, onto which bursts stack. `frame_interval_ms` is the stream's
+  // capture interval (1000 / fps) — the stall charged when a dropped frame has
+  // to be waited out.
   FaultRuntime(const FaultSpec* spec, uint64_t video_seed, int frame_count,
-               uint64_t fault_seed, bool degrade, double base_contention);
+               uint64_t fault_seed, bool degrade, double base_contention,
+               double frame_interval_ms = kDefaultFrameIntervalMs);
 
   bool active() const { return plan_.active(); }
   bool degrade() const { return degrade_; }
   const FaultPlan& plan() const { return plan_; }
+  double frame_interval_ms() const { return frame_interval_ms_; }
 
   // Starts the GoF anchored at `frame`: records a newly-entered contention
-  // burst (once per burst) and resets the per-GoF fault count.
+  // burst or thermal ramp (once per interval) and resets the per-GoF fault
+  // count.
   void BeginGof(int frame);
 
   // Absolute contention level to run the GoF at (base + any active burst).
   double ContentionAt(int frame) const;
+
+  // Multiplicative kernel-latency factor of the thermal drift at `frame`.
+  double ThermalAt(int frame) const;
 
   struct DetectorOutcome {
     // The detector never came back: skip it and coast this GoF on the tracker.
@@ -178,10 +255,19 @@ class FaultRuntime {
   // accounting, and the forced-fallback state: after a faulty or
   // deadline-missing GoF the next decision is forced to the cheapest branch;
   // a clean GoF clears the fallback and the scheduler re-plans.
+  // `forecast_planned` marks a GoF whose decision was made under forecast
+  // pressure (predictive runtime); faults it absorbs are credited to the
+  // forecast_absorbed counter on top of the usual absorption accounting.
   void OnGofComplete(double frame_ms, double slo_ms, int gof_length,
-                     bool coasted);
+                     bool coasted, bool forecast_planned = false);
 
   bool InFallback() const { return fallback_; }
+
+  // Predictive-robustness accounting hooks (the protocol drives the drift
+  // loop and the burst-end forecaster; the runtime only keeps the books).
+  void RecordRecalibration() { ++acc_.recalibrations; }
+  void RecordReanchor() { ++acc_.reanchors; }
+  void RecordPreemptiveReplan() { ++acc_.preemptive_replans; }
 
   const FaultAccounting& accounting() const { return acc_; }
   FaultAccounting TakeAccounting() { return std::move(acc_); }
@@ -192,26 +278,15 @@ class FaultRuntime {
   FaultPlan plan_;
   bool degrade_ = true;
   double base_contention_ = 0.0;
+  double frame_interval_ms_ = 0.0;
   FaultAccounting acc_;
   int gof_faults_ = 0;
   int last_burst_recorded_ = -1;
+  int last_ramp_recorded_ = -1;
   bool fallback_ = false;
   bool in_episode_ = false;
   int episode_gofs_ = 0;
 };
-
-// Retry policy constants, exposed for tests.
-// Degradation mode: fail fast (a watchdog timeout cuts a hung invocation at
-// this fraction of its mean), retry at most kMaxDetectorRetries times with
-// exponential backoff, then coast.
-inline constexpr int kMaxDetectorRetries = 2;
-inline constexpr double kFailedAttemptFraction = 0.4;
-inline constexpr double kRetryBackoffBaseMs = 2.0;
-// Naive mode: block on the hung kernel, full cost per attempt, hard cap so
-// runs always terminate.
-inline constexpr int kBlockingRetryCap = 12;
-// Capture stall charged when a dropped frame is waited out (non-degrade path).
-inline constexpr double kFrameIntervalMs = 33.3;
 
 }  // namespace litereconfig
 

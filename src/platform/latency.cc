@@ -27,11 +27,12 @@ LatencyModel::LatencyModel(DeviceType device, double gpu_contention_level)
     : device_(device), contention_(gpu_contention_level) {}
 
 double LatencyModel::GpuMs(double tx2_ms) const {
-  return tx2_ms / GetDeviceProfile(device_).gpu_scale * contention_.GpuInflation();
+  return tx2_ms / GetDeviceProfile(device_).gpu_scale * contention_.GpuInflation() *
+         thermal_scale_;
 }
 
 double LatencyModel::CpuMs(double tx2_ms) const {
-  return tx2_ms / GetDeviceProfile(device_).cpu_scale;
+  return tx2_ms / GetDeviceProfile(device_).cpu_scale * thermal_scale_;
 }
 
 double LatencyModel::DetectorMs(const DetectorConfig& config) const {

@@ -30,6 +30,11 @@ class LatencyModel {
   const ContentionGenerator& contention() const { return contention_; }
   void set_contention_level(double level) { contention_.set_level(level); }
 
+  // Multiplicative thermal-throttling factor (>= 1.0). Unlike GPU contention,
+  // DVFS throttling slows the whole SoC, so it scales CPU kernels too.
+  double thermal_scale() const { return thermal_scale_; }
+  void set_thermal_scale(double scale) { thermal_scale_ = scale; }
+
   // Mean latency of one detector invocation (GPU-resident).
   double DetectorMs(const DetectorConfig& config) const;
 
@@ -58,6 +63,7 @@ class LatencyModel {
 
   DeviceType device_;
   ContentionGenerator contention_;
+  double thermal_scale_ = 1.0;
 };
 
 }  // namespace litereconfig

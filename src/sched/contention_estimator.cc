@@ -1,0 +1,50 @@
+#include "src/sched/contention_estimator.h"
+
+#include <algorithm>
+
+namespace litereconfig {
+
+ContentionEstimator::ContentionEstimator(const ContentionEstimatorConfig& config)
+    : config_(config), expected_burst_gofs_(config.initial_burst_gofs) {}
+
+void ContentionEstimator::Observe(double predicted_ms, double observed_ms) {
+  if (predicted_ms <= 0.0 || observed_ms <= 0.0) {
+    return;
+  }
+  double ratio = std::min(observed_ms / predicted_ms, config_.max_scale);
+  if (!in_burst_) {
+    if (ratio > config_.onset_ratio) {
+      in_burst_ = true;
+      gofs_in_burst_ = 1;
+      burst_level_ = ratio;
+    }
+    return;
+  }
+  if (ratio < config_.clear_ratio) {
+    // Burst over: fold its length into the expectation used for forecasting.
+    expected_burst_gofs_ =
+        (1.0 - config_.length_ewma) * expected_burst_gofs_ +
+        config_.length_ewma * static_cast<double>(gofs_in_burst_);
+    in_burst_ = false;
+    gofs_in_burst_ = 0;
+    burst_level_ = 1.0;
+    return;
+  }
+  ++gofs_in_burst_;
+  burst_level_ =
+      (1.0 - config_.level_ewma) * burst_level_ + config_.level_ewma * ratio;
+}
+
+double ContentionEstimator::ForecastScale() const {
+  if (!in_burst_) {
+    return 1.0;
+  }
+  return std::max(1.0, burst_level_);
+}
+
+bool ContentionEstimator::BurstEndingSoon() const {
+  return in_burst_ &&
+         static_cast<double>(gofs_in_burst_) + 1.0 >= expected_burst_gofs_;
+}
+
+}  // namespace litereconfig

@@ -152,11 +152,18 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
       }
     }
     // The content-aware models refine (not replace) the content-agnostic
-    // prediction: averaging with the light-only model bounds the estimation
-    // variance the heavy models add on top of their content signal.
+    // prediction: blending with the light-only model bounds the estimation
+    // variance the heavy models add on top of their content signal. The
+    // blend == 0.5 form is kept verbatim so the default path stays bit-exact.
     for (size_t b = 0; b < combined.size(); ++b) {
-      combined[b] = 0.5 * (combined[b] / static_cast<double>(heavy.size()) +
-                           light_pred[b]);
+      if (ctx.heavy_blend == 0.5) {
+        combined[b] = 0.5 * (combined[b] / static_cast<double>(heavy.size()) +
+                             light_pred[b]);
+      } else {
+        combined[b] =
+            ctx.heavy_blend * (combined[b] / static_cast<double>(heavy.size())) +
+            (1.0 - ctx.heavy_blend) * light_pred[b];
+      }
     }
     accuracy = std::move(combined);
   }
@@ -170,6 +177,8 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
   size_t best_branch = 0;
   double cheapest_ms = std::numeric_limits<double>::infinity();
   size_t cheapest_branch = 0;
+  double feasible_cheapest_ms = std::numeric_limits<double>::infinity();
+  size_t feasible_cheapest_branch = 0;
   for (size_t b = 0; b < models_->space->size(); ++b) {
     double frame_ms = FrameCostMs(b, light, charged, ctx);
     if (frame_ms < cheapest_ms) {
@@ -178,6 +187,10 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
     }
     if (frame_ms > ctx.slo_ms * config_.slo_margin) {
       continue;
+    }
+    if (frame_ms < feasible_cheapest_ms) {
+      feasible_cheapest_ms = frame_ms;
+      feasible_cheapest_branch = b;
     }
     if (accuracy[b] > best_acc) {
       best_acc = accuracy[b];
@@ -189,6 +202,14 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
     decision.infeasible = true;
     best_branch = cheapest_branch;
     best_acc = accuracy[cheapest_branch];
+  } else if (ctx.prefer_headroom) {
+    // Staged degradation under forecast pressure: take the feasible branch
+    // with the most latency headroom, not the most accurate one, so the
+    // forecast contention can land without blowing the SLO. Hysteresis is
+    // skipped — sticking with an expensive current branch is exactly the
+    // failure mode this stage exists to avoid.
+    best_branch = feasible_cheapest_branch;
+    best_acc = accuracy[feasible_cheapest_branch];
   } else if (config_.use_hysteresis && ctx.current_branch.has_value()) {
     // Anti-thrashing: keep the current branch unless the winner is clearly
     // better (the switching cost itself is already inside the constraint).

@@ -98,6 +98,13 @@ struct DecisionContext {
   // kernels (contention adaptation).
   double gpu_cal = 1.0;
   double cpu_cal = 1.0;
+  // Recovery-aware staging: under forecast contention pressure pick the
+  // cheapest SLO-feasible branch (maximize headroom) instead of the most
+  // accurate feasible one.
+  bool prefer_headroom = false;
+  // Weight on the content-aware refinement when blending heavy-feature
+  // predictions with the light-only model; drift re-anchoring raises it.
+  double heavy_blend = 0.5;
 };
 
 struct SchedulerDecision {

@@ -47,6 +47,9 @@ struct VideoSpec {
   int width = 1280;
   int height = 720;
   int frame_count = 180;
+  // Capture rate; sets the per-frame capture interval used when a frame drop
+  // stalls the pipeline until the next capture.
+  double fps = 30.0;
   SceneArchetype archetype = SceneArchetype::kSparse;
 };
 

@@ -52,7 +52,8 @@ class SelectionFixture : public ::testing::Test {
     }
     models_.mean_branch_accuracy = flat;
     video_.emplace(SyntheticVideo::Generate(
-        VideoSpec{/*seed=*/5, 1280, 720, 60, SceneArchetype::kSparse}));
+        VideoSpec{/*seed=*/5, 1280, 720, 60, /*fps=*/30.0,
+                  SceneArchetype::kSparse}));
   }
 
   DecisionContext Context(double slo) {

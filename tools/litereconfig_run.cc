@@ -7,6 +7,8 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/baselines/approxdet.h"
@@ -40,13 +42,21 @@ int Run(int argc, char** argv) {
   flags.Define("csv", "", "write per-GoF amortized latency samples to this CSV");
   flags.Define("trace", "",
                "write the decision trace (JSONL) here; LiteReconfig variants only");
-  flags.Define("faults", "none",
-               "fault-injection schedule: none | mild | moderate | severe");
+  std::string preset_list;
+  for (std::string_view preset : FaultSpec::PresetNames()) {
+    if (!preset_list.empty()) preset_list += " | ";
+    preset_list += preset;
+  }
+  flags.Define("faults", "none", "fault-injection schedule: " + preset_list);
   flags.Define("fault_seed", "1",
                "seed for the deterministic fault streams (per-video substreams)");
   flags.Define("degrade", "1",
                "1 = graceful degradation (watchdog, bounded retry, coast mode, "
                "cheapest-branch fallback); 0 = naive blocking retries");
+  flags.Define("predictive", "0",
+               "1 = predictive robustness (contention forecasting, headroom-"
+               "first planning under burst pressure, pre-emptive re-plans, "
+               "drift-triggered recalibration); requires --degrade=1");
   flags.Define("json", "", "write the full evaluation result as one-line JSON here");
   if (!flags.Parse(argc, argv)) {
     flags.PrintHelp(flags.help_requested() ? std::cout : std::cerr);
@@ -112,12 +122,13 @@ int Run(int argc, char** argv) {
   std::optional<FaultSpec> faults = FaultSpec::FromName(flags.GetString("faults"));
   if (!faults) {
     std::cerr << "unknown fault schedule '" << flags.GetString("faults")
-              << "' (want none | mild | moderate | severe)\n";
+              << "' (want " << preset_list << ")\n";
     return 1;
   }
   config.faults = *faults;
   config.fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
   config.degrade = flags.GetInt("degrade") != 0;
+  config.predictive = flags.GetInt("predictive") != 0;
   EvalResult result = OnlineRunner::Run(*protocol, validation, config);
 
   if (trace != nullptr) {
@@ -168,6 +179,13 @@ int Run(int argc, char** argv) {
               << result.deadline_misses << " deadline misses, "
               << result.degraded_frames << " degraded frames, mean recovery "
               << FmtDouble(result.mean_recovery_gofs, 2) << " GoFs\n";
+    if (config.predictive) {
+      std::cout << "predictive:      " << result.recalibrations
+                << " recalibrations, " << result.reanchors << " re-anchors, "
+                << result.preemptive_replans << " pre-emptive re-plans, "
+                << result.forecast_absorbed << " faults absorbed under a "
+                << "forecast plan\n";
+    }
   }
 
   if (!flags.GetString("csv").empty()) {

@@ -43,11 +43,48 @@ int Run(int argc, char** argv) {
   int infeasible = 0;
   int frames = 0;
   int decisions = 0;
+  // Robustness accounting: deadline misses, recovery episodes (maximal runs of
+  // consecutive missed decisions within one video), and the predictive layer's
+  // model-maintenance events.
+  int misses = 0;
+  int recovery_episodes = 0;
+  int episode_gofs = 0;
+  int recalibrations = 0;
+  int reanchors = 0;
+  int replans = 0;
+  uint64_t episode_video = 0;
+  bool in_episode = false;
   for (const DecisionRecord& record : records) {
     if (record.event == "fault") {
       // Fault events carry the failure kind in branch_id.
       ++fault_counts[record.branch_id];
       continue;
+    }
+    if (record.event == "recalibrate") {
+      ++recalibrations;
+      continue;
+    }
+    if (record.event == "reanchor") {
+      ++reanchors;
+      continue;
+    }
+    if (record.event == "replan") {
+      ++replans;
+      continue;
+    }
+    if (in_episode && record.video_seed != episode_video) {
+      in_episode = false;
+    }
+    if (record.missed) {
+      ++misses;
+      if (!in_episode) {
+        ++recovery_episodes;
+        in_episode = true;
+        episode_video = record.video_seed;
+      }
+      ++episode_gofs;
+    } else {
+      in_episode = false;
     }
     ++decisions;
     branch_counts[record.branch_id] += record.gof_length;
@@ -101,6 +138,21 @@ int Run(int argc, char** argv) {
     for (const auto& [kind, count] : fault_counts) {
       std::cout << "  " << kind << ": " << count << "\n";
     }
+  }
+  if (misses > 0 || recalibrations > 0 || reanchors > 0 || replans > 0) {
+    std::cout << "\nRobustness:\n"
+              << "  deadline misses: " << misses << " over " << recovery_episodes
+              << " recovery episodes";
+    if (recovery_episodes > 0) {
+      std::cout << " (mean "
+                << FmtDouble(static_cast<double>(episode_gofs) /
+                                 recovery_episodes,
+                             2)
+                << " GoFs)";
+    }
+    std::cout << "\n  recalibrations: " << recalibrations
+              << ", re-anchors: " << reanchors
+              << ", pre-emptive re-plans: " << replans << "\n";
   }
   return 0;
 }
