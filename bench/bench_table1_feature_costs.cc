@@ -2,7 +2,6 @@
 // dimensionality, and their extraction / accuracy-model-prediction costs on the
 // Jetson TX2 profile. Also reports the *host* time of this repo's real feature
 // computations (HoC/HOG run for real on the frame raster) for reference.
-#include <chrono>
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -18,12 +17,11 @@ double HostExtractMicros(FeatureKind kind, const SyntheticVideo& video) {
   // Warm up once, then time a few repetitions.
   ExtractFeature(kind, video, 0, anchor);
   constexpr int kReps = 20;
-  auto start = std::chrono::steady_clock::now();
+  WallTimer timer;
   for (int i = 0; i < kReps; ++i) {
     ExtractFeature(kind, video, i % video.frame_count(), anchor);
   }
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(end - start).count() / kReps;
+  return timer.ElapsedMicros() / kReps;
 }
 
 void Run() {

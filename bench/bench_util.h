@@ -2,6 +2,7 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>  // detlint: allow(banned-clock) sole sanctioned wall-clock
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,6 +19,33 @@
 #include "src/util/thread_pool.h"
 
 namespace litereconfig {
+
+// Wall-clock timing for host-side benchmark reporting. This helper is the one
+// sanctioned wall-clock read in the tree: evaluation results are pure
+// functions of (seeds, config) and use the simulated LatencyModel clock, so
+// only benchmark *reporting* may consult the host clock — and only through
+// here, where detlint's allowlist entries live.
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+
+  void Reset() {
+    // detlint: allow(banned-clock) bench wall timing, never feeds results
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  double ElapsedMicros() const {
+    // detlint: allow(banned-clock) bench wall timing, never feeds results
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+  double ElapsedMs() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  // detlint: allow(banned-clock) bench wall timing, never feeds results
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Applies the shared --threads=N flag and prints the effective thread count, so
 // BENCH_*.json wall-clock trajectories stay comparable across machines (a

@@ -68,7 +68,7 @@ void TraceWriter::Write(const DecisionRecord& record) {
         << ",\"gpu_cal\":" << FmtDouble(record.gpu_cal, 4);
   }
   line << "}\n";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string& buffer = buffers_[record.video_seed];
   if (buffer.empty()) {
     bool seen = false;
@@ -87,7 +87,7 @@ void TraceWriter::Write(const DecisionRecord& record) {
 }
 
 void TraceWriter::Flush(const std::vector<uint64_t>& video_order) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (uint64_t seed : video_order) {
     auto it = buffers_.find(seed);
     if (it != buffers_.end()) {
@@ -173,6 +173,34 @@ std::vector<DecisionRecord> TraceReader::ReadAll(std::istream& is) {
     if (auto record = ParseLine(line)) {
       records.push_back(std::move(*record));
     }
+  }
+  return records;
+}
+
+std::optional<std::vector<DecisionRecord>> TraceReader::ReadAllStrict(
+    std::istream& is, std::string* error) {
+  std::vector<DecisionRecord> records;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank line (e.g. trailing newline)
+    }
+    auto record = ParseLine(line);
+    if (!record) {
+      if (error != nullptr) {
+        constexpr size_t kMaxEcho = 120;
+        std::string shown = line.substr(0, kMaxEcho);
+        if (line.size() > kMaxEcho) {
+          shown += "...";
+        }
+        *error = "line " + std::to_string(line_number) +
+                 ": malformed trace record: " + shown;
+      }
+      return std::nullopt;
+    }
+    records.push_back(std::move(*record));
   }
   return records;
 }

@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <istream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/annotations.h"
+#include "src/util/mutex.h"
 
 namespace litereconfig {
 
@@ -63,17 +65,19 @@ class TraceWriter {
 
   // Records written so far (buffered or flushed).
   size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return count_;
   }
 
  private:
+  // Only written under mu_ (by Flush); not annotated because it is a reference
+  // to caller-owned state.
   std::ostream& os_;
-  mutable std::mutex mu_;
-  size_t count_ = 0;
+  mutable Mutex mu_;
+  size_t count_ LR_GUARDED_BY(mu_) = 0;
   // Per-video buffered lines plus the first-write order of video seeds.
-  std::map<uint64_t, std::string> buffers_;
-  std::vector<uint64_t> first_seen_;
+  std::map<uint64_t, std::string> buffers_ LR_GUARDED_BY(mu_);
+  std::vector<uint64_t> first_seen_ LR_GUARDED_BY(mu_);
 };
 
 class TraceReader {
@@ -81,8 +85,16 @@ class TraceReader {
   // Parses one JSONL line; nullopt on malformed input.
   static std::optional<DecisionRecord> ParseLine(const std::string& line);
 
-  // Reads all well-formed records from a stream.
+  // Reads all well-formed records from a stream, silently skipping malformed
+  // lines — convenient for ad-hoc analysis over partial traces.
   static std::vector<DecisionRecord> ReadAll(std::istream& is);
+
+  // Reads all records, failing loudly instead of undercounting: returns
+  // nullopt on the first malformed non-blank line and describes it in *error
+  // ("line N: ..."). Tools that report aggregate statistics must use this so a
+  // truncated or corrupted trace cannot masquerade as a smaller clean one.
+  static std::optional<std::vector<DecisionRecord>> ReadAllStrict(
+      std::istream& is, std::string* error);
 };
 
 }  // namespace litereconfig

@@ -4,9 +4,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
-#include <mutex>
 
 #include "src/pipeline/serialize.h"
+#include "src/util/mutex.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
@@ -71,10 +71,12 @@ Workbench::Workbench(DeviceType device)
 }
 
 const Workbench& Workbench::Get(DeviceType device) {
-  static std::mutex mutex;
-  static std::map<DeviceType, std::unique_ptr<Workbench>>* benches =
-      new std::map<DeviceType, std::unique_ptr<Workbench>>();
-  std::lock_guard<std::mutex> lock(mutex);
+  using BenchMap = std::map<DeviceType, std::unique_ptr<Workbench>>;
+  // detlint: allow(mutable-global) guards the lazily-built per-device cache
+  static Mutex mutex;
+  // detlint: allow(mutable-global) per-device cache, only mutated under mutex
+  static BenchMap* benches = new BenchMap();
+  MutexLock lock(mutex);
   auto it = benches->find(device);
   if (it == benches->end()) {
     it = benches->emplace(device, std::unique_ptr<Workbench>(new Workbench(device)))

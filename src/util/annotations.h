@@ -1,0 +1,48 @@
+// Clang thread-safety analysis annotations (no-ops on other compilers).
+//
+// The parallel evaluation engine's determinism contract is enforced statically
+// on two fronts: detlint (tools/lint/) bans nondeterminism sources at the token
+// level, and these annotations let `clang -Wthread-safety` prove at compile
+// time that every access to mutex-protected state happens under the right
+// lock. Builds with Clang get the analysis automatically (see the top-level
+// CMakeLists.txt); GCC compiles the macros away.
+//
+// Usage: protect shared state with litereconfig::Mutex (src/util/mutex.h), tag
+// each protected member with LR_GUARDED_BY(mu_), and tag functions that expect
+// the caller to hold a lock with LR_REQUIRES(mu_).
+#ifndef SRC_UTIL_ANNOTATIONS_H_
+#define SRC_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define LR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define LR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+// Type annotations.
+#define LR_CAPABILITY(x) LR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define LR_SCOPED_CAPABILITY LR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data-member annotations.
+#define LR_GUARDED_BY(x) LR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#define LR_PT_GUARDED_BY(x) LR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Function annotations.
+#define LR_ACQUIRE(...) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define LR_RELEASE(...) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define LR_TRY_ACQUIRE(...) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define LR_REQUIRES(...) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define LR_EXCLUDES(...) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define LR_RETURN_CAPABILITY(x) \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch; every use needs a comment explaining why the analysis is wrong.
+#define LR_NO_THREAD_SAFETY_ANALYSIS \
+  LR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SRC_UTIL_ANNOTATIONS_H_

@@ -7,12 +7,15 @@
 #include <limits>
 #include <string>
 
+#include "src/util/mutex.h"
+
 namespace litereconfig {
 
 namespace {
 
 // True while the current thread is executing a ParallelFor segment; nested
 // ParallelFor calls detect this and run inline to stay deadlock-free.
+// detlint: allow(mutable-global) per-thread nesting flag; never feeds results
 thread_local bool tls_in_parallel_region = false;
 
 struct RegionGuard {
@@ -21,6 +24,7 @@ struct RegionGuard {
   ~RegionGuard() { tls_in_parallel_region = saved; }
 };
 
+// detlint: allow(mutable-global) process-wide default, set once by flag wiring
 std::atomic<int> g_default_threads{0};
 
 }  // namespace
@@ -29,16 +33,17 @@ std::atomic<int> g_default_threads{0};
 // the helper tasks it enqueued, so a helper that starts late — after the loop
 // already drained — still touches valid memory.
 struct ThreadPool::Job {
+  // body and n are set once before the job is shared; only read afterwards.
   std::function<void(size_t)> body;
   size_t n = 0;
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};
 
-  std::mutex mu;
-  std::condition_variable done;
-  int outstanding_helpers = 0;
-  size_t error_index = std::numeric_limits<size_t>::max();
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar done;
+  int outstanding_helpers LR_GUARDED_BY(mu) = 0;
+  size_t error_index LR_GUARDED_BY(mu) = std::numeric_limits<size_t>::max();
+  std::exception_ptr error LR_GUARDED_BY(mu);
 
   // Claims indices until the loop drains or is cancelled.
   void Participate() {
@@ -51,7 +56,7 @@ struct ThreadPool::Job {
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (i < error_index) {
           error_index = i;
           error = std::current_exception();
@@ -71,10 +76,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -84,8 +89,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // stop_ is set and no work is left
       }
@@ -116,27 +123,32 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
   job->body = body;
   job->n = n;
   int helpers = static_cast<int>(participants) - 1;
-  job->outstanding_helpers = helpers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock job_lock(job->mu);
+    job->outstanding_helpers = helpers;
+  }
+  {
+    MutexLock lock(mu_);
     for (int h = 0; h < helpers; ++h) {
       queue_.emplace_back([job] {
         job->Participate();
         {
-          std::lock_guard<std::mutex> job_lock(job->mu);
+          MutexLock job_lock(job->mu);
           --job->outstanding_helpers;
         }
-        job->done.notify_one();
+        job->done.NotifyOne();
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   job->Participate();
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->done.wait(lock, [&] { return job->outstanding_helpers == 0; });
+    MutexLock lock(job->mu);
+    while (job->outstanding_helpers != 0) {
+      job->done.Wait(job->mu);
+    }
     // Take the error out of the job: a straggler worker may destroy the last
     // shared_ptr<Job> copy after this point, and that release must not also
     // release the exception the caller is about to throw.
@@ -148,6 +160,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
 }
 
 ThreadPool& ThreadPool::Shared() {
+  // detlint: allow(mutable-global) intentionally leaked process-wide pool
   static ThreadPool* pool = new ThreadPool(std::max(3, DefaultThreadCount() - 1));
   return *pool;
 }

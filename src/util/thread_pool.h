@@ -17,15 +17,16 @@
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/util/annotations.h"
+#include "src/util/mutex.h"
 
 namespace litereconfig {
 
@@ -70,10 +71,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ LR_GUARDED_BY(mu_);
+  bool stop_ LR_GUARDED_BY(mu_) = false;
 };
 
 // The process default used when a caller passes threads <= 0: the last

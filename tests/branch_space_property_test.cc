@@ -77,8 +77,8 @@ TEST_P(BranchSweep, LatencyPredictorTracksPlatformWithinTolerance) {
 INSTANTIATE_TEST_SUITE_P(
     BranchGrid, BranchSweep,
     ::testing::Range<size_t>(0, BranchSpace::Default().size(), 5),
-    [](const ::testing::TestParamInfo<size_t>& info) {
-      return BranchSpace::Default().at(info.param).Id();
+    [](const ::testing::TestParamInfo<size_t>& param_info) {
+      return BranchSpace::Default().at(param_info.param).Id();
     });
 
 }  // namespace

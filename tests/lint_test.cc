@@ -1,0 +1,266 @@
+// Tests for detlint (tools/lint/): fixture files with known violations and
+// clean files, plus the comment/string stripper and the tree walker. The
+// companion ctest entry `detlint_tree` runs the real linter over the real
+// tree, so these tests focus on rule behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/detlint_lib.h"
+
+namespace litereconfig {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<LintViolation>& violations) {
+  std::vector<std::string> rules;
+  rules.reserve(violations.size());
+  for (const LintViolation& violation : violations) {
+    rules.push_back(violation.rule);
+  }
+  return rules;
+}
+
+bool HasRule(const std::vector<LintViolation>& violations,
+             const std::string& rule) {
+  const std::vector<std::string> rules = RulesOf(violations);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// Wraps a body in a correct header guard for the given repo-relative path.
+std::string GuardedHeader(const std::string& guard, const std::string& body) {
+  return "#ifndef " + guard + "\n#define " + guard + "\n" + body + "#endif  // " +
+         guard + "\n";
+}
+
+TEST(DetlintTest, CleanSourceFileHasNoViolations) {
+  const std::string content =
+      "#include <vector>\n"
+      "#include \"src/util/rng.h\"\n"
+      "namespace litereconfig {\n"
+      "double Draw(uint64_t seed) {\n"
+      "  Pcg32 rng(HashKeys({seed, 7}));\n"
+      "  return rng.NextDouble();\n"
+      "}\n"
+      "}  // namespace litereconfig\n";
+  EXPECT_TRUE(LintFileContent("src/foo/bar.cc", content).empty());
+}
+
+TEST(DetlintTest, BannedClockFlaggedAndAllowlisted) {
+  const std::string line = "auto t = std::chrono::steady_clock::now();\n";
+  auto violations = LintFileContent("src/a.cc", line);
+  ASSERT_TRUE(HasRule(violations, "banned-clock"));
+  EXPECT_EQ(violations[0].line, 1);
+
+  const std::string allowed =
+      "auto t = std::chrono::steady_clock::now();  "
+      "// detlint: allow(banned-clock) bench wall timing\n";
+  EXPECT_FALSE(HasRule(LintFileContent("src/a.cc", allowed), "banned-clock"));
+}
+
+TEST(DetlintTest, AllowOnPrecedingCommentLineApplies) {
+  const std::string content =
+      "// detlint: allow(mutable-global) process-wide cache\n"
+      "static int cache_hits = 0;\n";
+  EXPECT_FALSE(HasRule(LintFileContent("src/a.cc", content), "mutable-global"));
+}
+
+TEST(DetlintTest, BannedRandomSources) {
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "std::random_device rd;\n"),
+                      "banned-random"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "int x = rand() % 6;\n"),
+                      "banned-random"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "srand(42);\n"),
+                      "banned-random"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "std::mt19937 gen(7);\n"),
+                      "banned-random"));
+  // Identifier boundaries: these only *contain* banned spellings.
+  EXPECT_TRUE(LintFileContent("src/a.cc", "int strand(int x);\n").empty());
+  EXPECT_TRUE(LintFileContent("src/a.cc", "double operand(int x);\n").empty());
+}
+
+TEST(DetlintTest, BannedTimeIsCallSensitive) {
+  EXPECT_TRUE(
+      HasRule(LintFileContent("src/a.cc", "long t = time(nullptr);\n"),
+              "banned-time"));
+  // Member access named `time` is not the libc call.
+  EXPECT_TRUE(LintFileContent("src/a.cc", "double t = spec.time(3);\n").empty());
+  // A plain variable named `time` is not a call either.
+  EXPECT_TRUE(LintFileContent("src/a.cc", "double time = 0.5;\n").empty());
+}
+
+TEST(DetlintTest, CommentsAndStringsDoNotTrip) {
+  const std::string content =
+      "// std::random_device would break determinism here\n"
+      "/* neither does steady_clock in prose */\n"
+      "const char* kMessage = \"do not call srand(1) or time(nullptr)\";\n";
+  EXPECT_TRUE(LintFileContent("src/a.cc", content).empty());
+}
+
+TEST(DetlintTest, BannedIncludes) {
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "#include <random>\n"),
+                      "banned-random"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "#include <ctime>\n"),
+                      "banned-time"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "#include <chrono>\n"),
+                      "banned-clock"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "#include <unordered_map>\n"),
+                      "unordered-iter"));
+}
+
+TEST(DetlintTest, RawSyncBannedOutsideWrapperHeader) {
+  const std::string content = "std::mutex mu;\nstd::lock_guard<std::mutex> l(mu);\n";
+  auto violations = LintFileContent("src/a.cc", content);
+  EXPECT_GE(violations.size(), 2u);
+  EXPECT_TRUE(HasRule(violations, "raw-sync"));
+  EXPECT_TRUE(HasRule(LintFileContent("src/b.cc", "#include <mutex>\n"),
+                      "raw-sync"));
+
+  // The annotated wrapper header is the sanctioned home of the raw types.
+  const std::string wrapper = GuardedHeader(
+      "SRC_UTIL_MUTEX_H_", "#include <mutex>\nstd::mutex* Raw();\n");
+  EXPECT_FALSE(
+      HasRule(LintFileContent("src/util/mutex.h", wrapper), "raw-sync"));
+}
+
+TEST(DetlintTest, UnorderedIterationFlaggedUnlessMarked) {
+  const std::string content =
+      "std::unordered_map<int, double> index;\n"
+      "for (const auto& kv : index) {\n"
+      "}\n";
+  auto violations = LintFileContent("src/a.cc", content);
+  ASSERT_TRUE(HasRule(violations, "unordered-iter"));
+  // The violation points at the loop, not the declaration.
+  for (const LintViolation& violation : violations) {
+    if (violation.rule == "unordered-iter") {
+      EXPECT_EQ(violation.line, 2);
+    }
+  }
+
+  const std::string marked =
+      "std::unordered_map<int, double> index;\n"
+      "for (const auto& kv : index) {  // detlint: order-independent\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFileContent("src/a.cc", marked), "unordered-iter"));
+
+  // Iterating an ordered container that shares no name is fine.
+  const std::string ordered =
+      "std::map<int, double> index;\n"
+      "for (const auto& kv : index) {\n"
+      "}\n";
+  EXPECT_TRUE(LintFileContent("src/a.cc", ordered).empty());
+}
+
+TEST(DetlintTest, MutableGlobalHeuristics) {
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "static int counter = 0;\n"),
+                      "mutable-global"));
+  EXPECT_TRUE(
+      HasRule(LintFileContent("src/a.cc", "thread_local bool flag = false;\n"),
+              "mutable-global"));
+  // Constants and function declarations are not mutable state.
+  EXPECT_TRUE(LintFileContent("src/a.cc", "static const int kMax = 3;\n").empty());
+  EXPECT_TRUE(
+      LintFileContent("src/a.cc", "static constexpr double kPi = 3.14;\n")
+          .empty());
+  EXPECT_TRUE(LintFileContent("src/a.h",
+                              GuardedHeader("SRC_A_H_",
+                                            "class C {\n"
+                                            " public:\n"
+                                            "  static C FromParts(int a);\n"
+                                            "};\n"))
+                  .empty());
+}
+
+TEST(DetlintTest, HeaderGuardMustMatchPath) {
+  // Correct guard: clean.
+  EXPECT_TRUE(
+      LintFileContent("src/util/rng.h", GuardedHeader("SRC_UTIL_RNG_H_", ""))
+          .empty());
+
+  // Wrong guard name.
+  auto wrong = LintFileContent("src/util/rng.h", GuardedHeader("RNG_H", ""));
+  ASSERT_TRUE(HasRule(wrong, "header-guard"));
+  EXPECT_NE(wrong[0].message.find("SRC_UTIL_RNG_H_"), std::string::npos);
+
+  // Missing #define line.
+  const std::string no_define =
+      "#ifndef SRC_UTIL_RNG_H_\nint x;\n#endif  // SRC_UTIL_RNG_H_\n";
+  EXPECT_TRUE(HasRule(LintFileContent("src/util/rng.h", no_define),
+                      "header-guard"));
+
+  // Wrong #endif trailer comment.
+  const std::string bad_endif =
+      "#ifndef SRC_UTIL_RNG_H_\n#define SRC_UTIL_RNG_H_\n#endif\n";
+  EXPECT_TRUE(HasRule(LintFileContent("src/util/rng.h", bad_endif),
+                      "header-guard"));
+
+  // #pragma once is not the repo convention.
+  EXPECT_TRUE(HasRule(LintFileContent("src/util/rng.h", "#pragma once\n"),
+                      "header-guard"));
+
+  // No guard at all.
+  EXPECT_TRUE(
+      HasRule(LintFileContent("src/util/rng.h", "int x;\n"), "header-guard"));
+
+  // Source files need no guard.
+  EXPECT_TRUE(LintFileContent("src/util/rng.cc", "int x;\n").empty());
+}
+
+TEST(DetlintTest, IncludePathMustBeRepoRooted) {
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", "#include \"rng.h\"\n"),
+                      "include-path"));
+  EXPECT_TRUE(
+      HasRule(LintFileContent("src/a.cc", "#include \"../util/rng.h\"\n"),
+              "include-path"));
+  EXPECT_TRUE(
+      LintFileContent("src/a.cc", "#include \"src/util/rng.h\"\n").empty());
+  EXPECT_TRUE(LintFileContent("src/a.cc", "#include <vector>\n").empty());
+}
+
+TEST(DetlintTest, FormatViolationIsEditorClickable) {
+  LintViolation violation{"src/a.cc", 12, "banned-time", "wall-clock read"};
+  EXPECT_EQ(FormatViolation(violation),
+            "src/a.cc:12: banned-time: wall-clock read");
+}
+
+TEST(DetlintStripTest, PreservesLineStructure) {
+  const std::string content =
+      "int a = 1;  // trailing comment\n"
+      "/* multi\n"
+      "   line */ int b = 2;\n"
+      "const char* s = \"quoted \\\" still quoted\";\n";
+  const std::string stripped = StripCommentsAndStrings(content);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_EQ(stripped.find("multi"), std::string::npos);
+  EXPECT_EQ(stripped.find("quoted"), std::string::npos);
+  EXPECT_NE(stripped.find("int b = 2;"), std::string::npos);
+}
+
+TEST(DetlintTreeTest, WalksOnlySourcesAndReportsRelativePaths) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::path(testing::TempDir()) / "detlint_tree_fixture";
+  fs::remove_all(root);
+  fs::create_directories(root / "src");
+  fs::create_directories(root / "docs");
+  {
+    std::ofstream(root / "src" / "clean.cc") << "int x = 1;\n";
+    std::ofstream(root / "src" / "dirty.cc") << "srand(42);\n";
+    // Non-source files and unlisted subdirs are ignored.
+    std::ofstream(root / "src" / "notes.md") << "srand(42);\n";
+    std::ofstream(root / "docs" / "bad.cc") << "srand(42);\n";
+  }
+  LintReport report = LintTree(root.string(), {"src"});
+  EXPECT_EQ(report.files_scanned, 2);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].file, "src/dirty.cc");
+  EXPECT_EQ(report.violations[0].rule, "banned-random");
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace litereconfig

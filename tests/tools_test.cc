@@ -170,5 +170,40 @@ TEST(TraceTest, ParseLineRejectsMissingCoreFields) {
   EXPECT_FALSE(TraceReader::ParseLine("{\"video\":1,\"frame\":2}").has_value());
 }
 
+TEST(TraceTest, StrictReaderAcceptsCleanTraceWithBlankLines) {
+  std::ostringstream os;
+  TraceWriter writer(os);
+  writer.Write(SampleRecord());
+  writer.Write(SampleRecord());
+  writer.Flush();
+  std::istringstream is(os.str() + "\n  \n");
+  std::string error;
+  auto records = TraceReader::ReadAllStrict(is, &error);
+  ASSERT_TRUE(records.has_value()) << error;
+  EXPECT_EQ(records->size(), 2u);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(TraceTest, StrictReaderFailsOnMalformedLineWithLineNumber) {
+  std::ostringstream os;
+  TraceWriter writer(os);
+  writer.Write(SampleRecord());
+  writer.Flush();
+  std::istringstream is(os.str() + "garbage that is not json\n");
+  std::string error;
+  auto records = TraceReader::ReadAllStrict(is, &error);
+  EXPECT_FALSE(records.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("garbage"), std::string::npos) << error;
+}
+
+TEST(TraceTest, StrictReaderFailsOnTruncatedRecord) {
+  // A record missing its core fields is corruption, not data to skip.
+  std::istringstream is("{\"video\":1,\"frame\":2}\n");
+  std::string error;
+  EXPECT_FALSE(TraceReader::ReadAllStrict(is, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace litereconfig

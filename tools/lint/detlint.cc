@@ -1,0 +1,50 @@
+// detlint — the determinism & concurrency linter (see detlint_lib.h for the
+// rule catalogue). Exits nonzero when any violation is found, printing each as
+// "file:line: rule: message".
+//
+//   usage: detlint [--root DIR] [subdir...]
+//
+// With no subdirs, scans src/ tools/ bench/ tests/ examples/ under the root.
+// Registered as a ctest test over the real tree, and run by the CI lint job.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/detlint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: detlint [--root DIR] [subdir...]\n"
+                   "Token-scans C++ sources for determinism and concurrency "
+                   "contract violations.\n";
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) {
+    subdirs = {"src", "tools", "bench", "tests", "examples"};
+  }
+
+  litereconfig::LintReport report = litereconfig::LintTree(root, subdirs);
+  for (const litereconfig::LintViolation& violation : report.violations) {
+    std::cout << litereconfig::FormatViolation(violation) << "\n";
+  }
+  if (report.files_scanned == 0) {
+    std::cerr << "detlint: no .h/.cc files found under " << root << "\n";
+    return 2;
+  }
+  std::cerr << "detlint: " << report.files_scanned << " files, "
+            << report.violations.size() << " violation"
+            << (report.violations.size() == 1 ? "" : "s") << "\n";
+  return report.violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,587 @@
+#include "tools/lint/detlint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace litereconfig {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string LTrim(const std::string& s) {
+  size_t i = s.find_first_not_of(" \t");
+  return i == std::string::npos ? std::string() : s.substr(i);
+}
+
+std::string RTrim(const std::string& s) {
+  size_t i = s.find_last_not_of(" \t\r");
+  return i == std::string::npos ? std::string() : s.substr(0, i + 1);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(text);
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// --- token matching ------------------------------------------------------
+
+struct BannedToken {
+  const char* token;
+  // When true the token must be followed by '(' and not be preceded by a
+  // member/scope accessor — it is a free-function call like rand( or time(.
+  bool require_call;
+  const char* rule;
+  const char* message;
+};
+
+const BannedToken kBannedTokens[] = {
+    {"std::random_device", false, "banned-random",
+     "nondeterministic seed source; draw from src/util/rng.h (Pcg32 seeded via "
+     "HashKeys)"},
+    {"std::mt19937", false, "banned-random",
+     "unsanctioned generator; use src/util/rng.h Pcg32 keyed by entity ids"},
+    {"std::mt19937_64", false, "banned-random",
+     "unsanctioned generator; use src/util/rng.h Pcg32 keyed by entity ids"},
+    {"std::default_random_engine", false, "banned-random",
+     "unsanctioned generator; use src/util/rng.h Pcg32 keyed by entity ids"},
+    {"rand", true, "banned-random",
+     "global-state RNG; use src/util/rng.h Pcg32 keyed by entity ids"},
+    {"srand", true, "banned-random",
+     "global-state RNG seeding; use src/util/rng.h Pcg32 keyed by entity ids"},
+    {"random_shuffle", false, "banned-random",
+     "unspecified RNG; shuffle with an explicit Pcg32 if order must vary"},
+    {"time", true, "banned-time",
+     "wall-clock read; results must be pure functions of (seeds, config)"},
+    {"clock", true, "banned-time",
+     "wall-clock read; results must be pure functions of (seeds, config)"},
+    {"gettimeofday", true, "banned-time",
+     "wall-clock read; results must be pure functions of (seeds, config)"},
+    {"steady_clock", false, "banned-clock",
+     "wall-clock source; bench reporting must go through bench/bench_util.h "
+     "WallTimer, simulation through LatencyModel"},
+    {"system_clock", false, "banned-clock",
+     "wall-clock source; bench reporting must go through bench/bench_util.h "
+     "WallTimer, simulation through LatencyModel"},
+    {"high_resolution_clock", false, "banned-clock",
+     "wall-clock source; bench reporting must go through bench/bench_util.h "
+     "WallTimer, simulation through LatencyModel"},
+};
+
+const char* const kRawSyncTokens[] = {
+    "std::mutex", "std::recursive_mutex", "std::timed_mutex",
+    "std::shared_mutex", "std::condition_variable",
+    "std::condition_variable_any", "std::lock_guard", "std::unique_lock",
+    "std::scoped_lock", "std::shared_lock",
+};
+
+// Headers whose presence implies one of the banned constructs.
+const std::map<std::string, const char*> kBannedIncludes = {
+    {"random", "banned-random"},  {"ctime", "banned-time"},
+    {"time.h", "banned-time"},    {"sys/time.h", "banned-time"},
+    {"chrono", "banned-clock"},   {"unordered_map", "unordered-iter"},
+    {"unordered_set", "unordered-iter"},
+};
+
+const std::map<std::string, const char*> kRawSyncIncludes = {
+    {"mutex", "raw-sync"},
+    {"condition_variable", "raw-sync"},
+    {"shared_mutex", "raw-sync"},
+};
+
+// Finds `token` in `code` respecting identifier boundaries; returns npos when
+// absent. For require_call tokens the match must look like a free-function
+// call (followed by '(', not reached via '.', '->', or '::').
+size_t FindToken(const std::string& code, const std::string& token,
+                 bool require_call, size_t from) {
+  size_t pos = code.find(token, from);
+  while (pos != std::string::npos) {
+    char prev = pos == 0 ? ' ' : code[pos - 1];
+    size_t end = pos + token.size();
+    char next = end < code.size() ? code[end] : ' ';
+    bool boundary_ok = !IsIdentChar(prev) && !IsIdentChar(next);
+    if (boundary_ok && require_call) {
+      if (prev == '.' || prev == ':' || prev == '>') {
+        boundary_ok = false;
+      } else {
+        size_t paren = code.find_first_not_of(" \t", end);
+        boundary_ok = paren != std::string::npos && code[paren] == '(';
+      }
+    }
+    if (boundary_ok) {
+      return pos;
+    }
+    pos = code.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool ContainsWord(const std::string& code, const std::string& word) {
+  return FindToken(code, word, /*require_call=*/false, 0) != std::string::npos;
+}
+
+// --- inline directives ---------------------------------------------------
+
+// Parses "// detlint: allow(rule-a, rule-b) reason" and
+// "// detlint: order-independent" escapes out of a raw source line.
+std::set<std::string> ParseAllowances(const std::string& raw_line) {
+  std::set<std::string> allowed;
+  size_t pos = raw_line.find("detlint:");
+  if (pos == std::string::npos) {
+    return allowed;
+  }
+  std::string rest = LTrim(raw_line.substr(pos + 8));
+  if (StartsWith(rest, "order-independent")) {
+    allowed.insert("unordered-iter");
+    return allowed;
+  }
+  if (StartsWith(rest, "allow(")) {
+    size_t close = rest.find(')');
+    if (close != std::string::npos) {
+      std::string list = rest.substr(6, close - 6);
+      std::string rule;
+      std::istringstream stream(list);
+      while (std::getline(stream, rule, ',')) {
+        rule = RTrim(LTrim(rule));
+        if (!rule.empty()) {
+          allowed.insert(rule);
+        }
+      }
+    }
+  }
+  return allowed;
+}
+
+// --- declaration scans ---------------------------------------------------
+
+// Returns identifiers declared on this line as unordered containers, e.g.
+// "std::unordered_map<K, V> index;" yields "index".
+std::vector<std::string> UnorderedDeclNames(const std::string& code) {
+  std::vector<std::string> names;
+  for (const char* marker : {"unordered_map<", "unordered_set<"}) {
+    size_t pos = code.find(marker);
+    while (pos != std::string::npos) {
+      size_t open = code.find('<', pos);
+      int depth = 0;
+      size_t i = open;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') {
+          ++depth;
+        } else if (code[i] == '>') {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      if (i < code.size()) {
+        size_t name_start = code.find_first_not_of(" \t*&", i + 1);
+        if (name_start != std::string::npos && IsIdentChar(code[name_start])) {
+          size_t name_end = name_start;
+          while (name_end < code.size() && IsIdentChar(code[name_end])) {
+            ++name_end;
+          }
+          names.push_back(code.substr(name_start, name_end - name_start));
+        }
+      }
+      pos = code.find(marker, pos + 1);
+    }
+  }
+  return names;
+}
+
+// If `code` holds a range-for, returns the range expression ("for (x : expr)").
+std::string RangeForExpr(const std::string& code) {
+  size_t pos = FindToken(code, "for", /*require_call=*/false, 0);
+  if (pos == std::string::npos) {
+    return std::string();
+  }
+  size_t open = code.find('(', pos);
+  if (open == std::string::npos) {
+    return std::string();
+  }
+  int depth = 0;
+  size_t colon = std::string::npos;
+  size_t close = code.size();
+  for (size_t i = open; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (--depth == 0) {
+        close = i;
+        break;
+      }
+    } else if (c == ':' && depth == 1 && colon == std::string::npos) {
+      bool scope = (i + 1 < code.size() && code[i + 1] == ':') ||
+                   (i > 0 && code[i - 1] == ':');
+      if (!scope) {
+        colon = i;
+      }
+    }
+  }
+  if (colon == std::string::npos) {
+    return std::string();
+  }
+  return code.substr(colon + 1, close - colon - 1);
+}
+
+// True when the line begins a static / thread_local *variable* declaration
+// (not a static member-function declaration, which carries a '(').
+bool IsMutableStaticDecl(const std::string& code) {
+  std::string trimmed = LTrim(code);
+  bool has_static = StartsWith(trimmed, "static ");
+  bool has_tls = StartsWith(trimmed, "thread_local ");
+  if (!has_static && !has_tls) {
+    return false;
+  }
+  if (ContainsWord(trimmed, "const") || ContainsWord(trimmed, "constexpr")) {
+    return false;
+  }
+  size_t stop = trimmed.find_first_of("=;{");
+  if (stop == std::string::npos) {
+    return false;  // declaration continues on another line; assume a function
+  }
+  return trimmed.find('(') >= stop;
+}
+
+// --- header guards -------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard;
+  guard.reserve(rel_path.size() + 1);
+  for (char c : rel_path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& rel_path,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<LintViolation>* out) {
+  const std::string expected = ExpectedGuard(rel_path);
+  int ifndef_line = 0;
+  std::string guard;
+  int endif_line = 0;
+  std::string endif_text;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    std::string trimmed = LTrim(raw_lines[i]);
+    if (StartsWith(trimmed, "#pragma once")) {
+      out->push_back({rel_path, static_cast<int>(i + 1), "header-guard",
+                      "use an #ifndef " + expected + " guard, not #pragma once"});
+      return;
+    }
+    if (guard.empty() && StartsWith(trimmed, "#ifndef")) {
+      ifndef_line = static_cast<int>(i + 1);
+      std::istringstream stream(trimmed);
+      std::string directive;
+      stream >> directive >> guard;
+      if (guard != expected) {
+        out->push_back({rel_path, ifndef_line, "header-guard",
+                        "guard is '" + guard + "', expected '" + expected + "'"});
+        return;
+      }
+      if (i + 1 >= raw_lines.size() ||
+          RTrim(raw_lines[i + 1]) != "#define " + expected) {
+        out->push_back({rel_path, ifndef_line + 1, "header-guard",
+                        "expected '#define " + expected +
+                            "' immediately after the #ifndef"});
+      }
+    }
+    if (StartsWith(trimmed, "#endif")) {
+      endif_line = static_cast<int>(i + 1);
+      endif_text = RTrim(raw_lines[i]);
+    }
+  }
+  if (guard.empty()) {
+    out->push_back(
+        {rel_path, 1, "header-guard", "missing #ifndef " + expected + " guard"});
+    return;
+  }
+  if (endif_text != "#endif  // " + expected) {
+    out->push_back({rel_path, endif_line == 0 ? 1 : endif_line, "header-guard",
+                    "closing line must be exactly '#endif  // " + expected + "'"});
+  }
+}
+
+// --- includes ------------------------------------------------------------
+
+// Extracts the include target and whether it was quoted; empty if not an
+// include line.
+std::string ParseInclude(const std::string& raw_line, bool* quoted) {
+  std::string trimmed = LTrim(raw_line);
+  if (!StartsWith(trimmed, "#include")) {
+    return std::string();
+  }
+  size_t start = trimmed.find_first_of("<\"", 8);
+  if (start == std::string::npos) {
+    return std::string();
+  }
+  *quoted = trimmed[start] == '"';
+  char closer = *quoted ? '"' : '>';
+  size_t end = trimmed.find(closer, start + 1);
+  if (end == std::string::npos) {
+    return std::string();
+  }
+  return trimmed.substr(start + 1, end - start - 1);
+}
+
+bool IsProjectPathInclude(const std::string& target) {
+  return StartsWith(target, "src/") || StartsWith(target, "bench/") ||
+         StartsWith(target, "tests/") || StartsWith(target, "tools/");
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string out = content;
+  std::string raw_delim;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim".
+          size_t open = content.find('(', i + 1);
+          if (open != std::string::npos) {
+            raw_delim = ")";
+            raw_delim += content.substr(i + 1, open - i - 1);
+            raw_delim += '"';
+            state = State::kRaw;
+          }
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char closer = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == closer) {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) {
+            out[i + j] = ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string FormatViolation(const LintViolation& violation) {
+  return violation.file + ":" + std::to_string(violation.line) + ": " +
+         violation.rule + ": " + violation.message;
+}
+
+std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path,
+                                           const std::string& content) {
+  const bool is_header =
+      repo_relative_path.size() >= 2 &&
+      repo_relative_path.compare(repo_relative_path.size() - 2, 2, ".h") == 0;
+  const bool is_mutex_header = repo_relative_path == "src/util/mutex.h";
+
+  std::vector<std::string> raw_lines = SplitLines(content);
+  std::vector<std::string> code_lines = SplitLines(StripCommentsAndStrings(content));
+  code_lines.resize(raw_lines.size());
+
+  std::vector<LintViolation> found;
+  auto report = [&](size_t index, const char* rule, const std::string& message) {
+    found.push_back(
+        {repo_relative_path, static_cast<int>(index + 1), rule, message});
+  };
+
+  // Pass 1: names declared as unordered containers anywhere in the file.
+  std::vector<std::string> container_decl_names;
+  for (const std::string& code : code_lines) {
+    for (std::string& name : UnorderedDeclNames(code)) {
+      container_decl_names.push_back(std::move(name));
+    }
+  }
+
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    // An escape applies to its own line, or — when written as a standalone
+    // comment line — to the line directly below it.
+    std::set<std::string> allowed = ParseAllowances(raw_lines[i]);
+    if (i > 0 && StartsWith(LTrim(raw_lines[i - 1]), "//")) {
+      for (const std::string& rule : ParseAllowances(raw_lines[i - 1])) {
+        allowed.insert(rule);
+      }
+    }
+    auto flag = [&](const char* rule, const std::string& message) {
+      if (allowed.count(rule) == 0) {
+        report(i, rule, message);
+      }
+    };
+
+    for (const BannedToken& banned : kBannedTokens) {
+      if (FindToken(code, banned.token, banned.require_call, 0) !=
+          std::string::npos) {
+        flag(banned.rule, std::string(banned.token) + ": " + banned.message);
+      }
+    }
+
+    if (!is_mutex_header) {
+      for (const char* token : kRawSyncTokens) {
+        if (ContainsWord(code, token)) {
+          flag("raw-sync",
+               std::string(token) +
+                   ": use the annotated wrappers in src/util/mutex.h so clang "
+                   "-Wthread-safety can check locking");
+        }
+      }
+    }
+
+    bool quoted = false;
+    std::string include = ParseInclude(raw_lines[i], &quoted);
+    if (!include.empty()) {
+      if (quoted && !IsProjectPathInclude(include)) {
+        flag("include-path",
+             "project includes are written from the repo root (src/..., "
+             "bench/..., tests/..., tools/...), got \"" + include + "\"");
+      }
+      auto banned_it = kBannedIncludes.find(include);
+      if (banned_it != kBannedIncludes.end()) {
+        flag(banned_it->second,
+             "#include <" + include + ">: header behind a banned construct; "
+             "see the " + std::string(banned_it->second) + " rule");
+      }
+      auto sync_it = kRawSyncIncludes.find(include);
+      if (sync_it != kRawSyncIncludes.end() && !is_mutex_header) {
+        flag("raw-sync", "#include <" + include +
+                             ">: use src/util/mutex.h wrappers instead");
+      }
+    }
+
+    std::string range_expr = RangeForExpr(code);
+    if (!range_expr.empty()) {
+      bool suspicious = range_expr.find("unordered") != std::string::npos;
+      for (const std::string& name : container_decl_names) {
+        suspicious = suspicious || ContainsWord(range_expr, name);
+      }
+      if (suspicious) {
+        flag("unordered-iter",
+             "iteration order over an unordered container is unspecified and "
+             "must not feed results; use std::map/std::set or mark the loop "
+             "'// detlint: order-independent'");
+      }
+    }
+
+    if (IsMutableStaticDecl(code)) {
+      flag("mutable-global",
+           "mutable static state is a hidden channel between runs and "
+           "threads; pass state explicitly or justify with '// detlint: "
+           "allow(mutable-global) <reason>'");
+    }
+  }
+
+  if (is_header) {
+    CheckHeaderGuard(repo_relative_path, raw_lines, &found);
+  }
+  return found;
+}
+
+LintReport LintTree(const std::string& root,
+                    const std::vector<std::string>& subdirs) {
+  namespace fs = std::filesystem;
+  LintReport report;
+  std::vector<fs::path> files;
+  for (const std::string& subdir : subdirs) {
+    fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    std::ifstream stream(path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    std::string rel = fs::relative(path, root).generic_string();
+    ++report.files_scanned;
+    for (LintViolation& violation : LintFileContent(rel, buffer.str())) {
+      report.violations.push_back(std::move(violation));
+    }
+  }
+  return report;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,74 @@
+// detlint: the determinism & concurrency lint pass.
+//
+// The repository's core contract is that every EvalResult is a pure function
+// of (seeds, config) and bit-identical at any --threads value. The dynamic
+// side of that contract lives in tests/parallel_eval_test.cc and the TSan CI
+// job; detlint is the static side. It token-scans the tree and rejects the
+// constructs that historically introduce silent nondeterminism:
+//
+//   banned-random    std::random_device / rand() / mt19937 & friends — all
+//                    randomness must come from src/util/rng.h (Pcg32 seeded
+//                    via HashKeys), keyed by entity identifiers.
+//   banned-time      time() / clock() / gettimeofday — no wall-clock reads in
+//                    result-producing code.
+//   banned-clock     std::chrono steady/system/high_resolution_clock, except
+//                    the sanctioned bench timing helper (bench/bench_util.h).
+//   banned-include   <random>, <ctime>, <chrono>, <unordered_map>,
+//                    <unordered_set> — the headers behind the rules above.
+//   raw-sync         std::mutex / condition_variable / lock types outside
+//                    src/util/mutex.h — shared state must use the annotated
+//                    wrappers so clang -Wthread-safety can check locking.
+//   unordered-iter   range-for over an unordered container — iteration order
+//                    is unspecified and must not feed results.
+//   mutable-global   file-scope / static / thread_local mutable state — a
+//                    hidden channel between runs and between threads.
+//   header-guard     #ifndef guard must be the repo-relative path, uppercase,
+//                    with a matching #define and a "#endif  // GUARD" trailer.
+//   include-path     project includes are written from the repo root
+//                    ("src/...", not "../util/...").
+//
+// Escapes are inline and must carry a reason, e.g.
+//   foo();  // detlint: allow(banned-clock) bench wall timing
+// and, for sanctioned unordered iteration,
+//   for (const auto& kv : index) {  // detlint: order-independent
+// Comments and string literals are stripped before token matching, so prose
+// about a banned construct never trips the linter.
+#ifndef TOOLS_LINT_DETLINT_LIB_H_
+#define TOOLS_LINT_DETLINT_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace litereconfig {
+
+struct LintViolation {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// "file:line: rule: message" — the exact format CI logs and editors expect.
+std::string FormatViolation(const LintViolation& violation);
+
+// Lints one file given its repo-relative path (used for path-scoped rules such
+// as header-guard and the raw-sync exemption) and its full contents.
+std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path,
+                                           const std::string& content);
+
+struct LintReport {
+  std::vector<LintViolation> violations;
+  int files_scanned = 0;
+};
+
+// Recursively lints every .h/.cc file under root/<subdir> for each listed
+// subdir. Files are visited in sorted path order so output is deterministic.
+LintReport LintTree(const std::string& root, const std::vector<std::string>& subdirs);
+
+// Exposed for tests: `content` with comments and string/character literals
+// blanked out (structure and line breaks preserved).
+std::string StripCommentsAndStrings(const std::string& content);
+
+}  // namespace litereconfig
+
+#endif  // TOOLS_LINT_DETLINT_LIB_H_

@@ -23,14 +23,27 @@ int Run(int argc, char** argv) {
     std::cerr << "usage: trace_summary [--top N] <trace.jsonl>\n";
     return flags.help_requested() ? 0 : 1;
   }
-  std::ifstream file(flags.positional()[0]);
+  const std::string& path = flags.positional()[0];
+  std::ifstream file(path);
   if (!file) {
-    std::cerr << "cannot open " << flags.positional()[0] << "\n";
+    std::cerr << "error: cannot open " << path << "\n";
     return 1;
   }
-  std::vector<DecisionRecord> records = TraceReader::ReadAll(file);
+  // Strict parse: a malformed line means the trace is truncated or corrupted,
+  // and summarizing the readable prefix would silently undercount.
+  std::string parse_error;
+  auto parsed = TraceReader::ReadAllStrict(file, &parse_error);
+  if (file.bad()) {
+    std::cerr << "error: I/O failure while reading " << path << "\n";
+    return 1;
+  }
+  if (!parsed) {
+    std::cerr << "error: " << path << ": " << parse_error << "\n";
+    return 1;
+  }
+  std::vector<DecisionRecord> records = std::move(*parsed);
   if (records.empty()) {
-    std::cerr << "no decision records found\n";
+    std::cerr << "error: no decision records found in " << path << "\n";
     return 1;
   }
 
