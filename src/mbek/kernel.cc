@@ -6,6 +6,52 @@
 
 namespace litereconfig {
 
+DetectionList ExecutionKernel::DetectAnchor(const SyntheticVideo& video, int start,
+                                            const Branch& branch,
+                                            uint64_t run_salt,
+                                            const DetectorQuality& quality) {
+  if (start >= video.frame_count()) {
+    return {};
+  }
+  return DetectorSim::Detect(video, start, branch.detector, quality, run_salt);
+}
+
+std::vector<DetectionList> ExecutionKernel::TrackRemainder(
+    const SyntheticVideo& video, int start, const Branch& branch,
+    const DetectionList& anchor_detections, uint64_t run_salt,
+    const DetectorQuality& quality) {
+  std::vector<DetectionList> frames;
+  int remaining = video.frame_count() - start;
+  int length = std::min(branch.gof, remaining);
+  if (length <= 1) {
+    return frames;
+  }
+  frames.reserve(static_cast<size_t>(length - 1));
+  if (branch.has_tracker) {
+    // Only confident detections are handed to the tracker — the same policy the
+    // latency accounting charges for.
+    DetectionList confident;
+    for (const Detection& det : anchor_detections) {
+      if (det.score >= kConfidentScoreThreshold) {
+        confident.push_back(det);
+      }
+    }
+    std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
+    for (int t = start + 1; t < start + length; ++t) {
+      frames.push_back(
+          TrackerSim::Step(video, t, branch.tracker, tracks, run_salt));
+    }
+  } else {
+    // A detector-only branch with gof > 1 would re-detect each frame; in the
+    // curated space detector-only branches have gof == 1, but handle it anyway.
+    for (int t = start + 1; t < start + length; ++t) {
+      frames.push_back(
+          DetectorSim::Detect(video, t, branch.detector, quality, run_salt));
+    }
+  }
+  return frames;
+}
+
 GofResult ExecutionKernel::RunGof(const SyntheticVideo& video, int start,
                                   const Branch& branch, uint64_t run_salt,
                                   const DetectorQuality& quality) {
@@ -15,31 +61,13 @@ GofResult ExecutionKernel::RunGof(const SyntheticVideo& video, int start,
   if (length <= 0) {
     return result;
   }
-  result.anchor_detections =
-      DetectorSim::Detect(video, start, branch.detector, quality, run_salt);
+  result.anchor_detections = DetectAnchor(video, start, branch, run_salt, quality);
   result.frames.reserve(static_cast<size_t>(length));
   result.frames.push_back(result.anchor_detections);
-  if (length > 1 && branch.has_tracker) {
-    // Only confident detections are handed to the tracker — the same policy the
-    // latency accounting charges for.
-    DetectionList confident;
-    for (const Detection& det : result.anchor_detections) {
-      if (det.score >= kConfidentScoreThreshold) {
-        confident.push_back(det);
-      }
-    }
-    std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
-    for (int t = start + 1; t < start + length; ++t) {
-      result.frames.push_back(
-          TrackerSim::Step(video, t, branch.tracker, tracks, run_salt));
-    }
-  } else {
-    // A detector-only branch with gof > 1 would re-detect each frame; in the
-    // curated space detector-only branches have gof == 1, but handle it anyway.
-    for (int t = start + 1; t < start + length; ++t) {
-      result.frames.push_back(
-          DetectorSim::Detect(video, t, branch.detector, quality, run_salt));
-    }
+  std::vector<DetectionList> rest =
+      TrackRemainder(video, start, branch, result.anchor_detections, run_salt, quality);
+  for (DetectionList& dets : rest) {
+    result.frames.push_back(std::move(dets));
   }
   return result;
 }

@@ -25,9 +25,26 @@ class ExecutionKernel {
   // Runs `branch` starting at frame `start`, for min(branch.gof, frames left)
   // frames. The detector runs on the anchor; the tracker (if any) on the rest.
   // `quality` selects the detector family (default: the MBEK's Faster R-CNN).
+  // Composed from DetectAnchor + TrackRemainder below.
   static GofResult RunGof(const SyntheticVideo& video, int start, const Branch& branch,
                           uint64_t run_salt = 0,
                           const DetectorQuality& quality = {});
+
+  // The anchor half of RunGof: the detector on frame `start` alone. Returns an
+  // empty list when no frames remain.
+  static DetectionList DetectAnchor(const SyntheticVideo& video, int start,
+                                    const Branch& branch, uint64_t run_salt = 0,
+                                    const DetectorQuality& quality = {});
+
+  // The remainder half of RunGof: the per-frame outputs for frames
+  // (start, start + min(branch.gof, frames left)) — i.e. everything after the
+  // anchor — given the anchor's detections. A pure function of its arguments,
+  // so it can run concurrently with other work on the same video (intra-video
+  // pipelining) without affecting results.
+  static std::vector<DetectionList> TrackRemainder(
+      const SyntheticVideo& video, int start, const Branch& branch,
+      const DetectionList& anchor_detections, uint64_t run_salt = 0,
+      const DetectorQuality& quality = {});
 
   // Mean average precision of running the branch in steady state over the
   // snippet [start, start + length): consecutive GoFs, evaluated against the

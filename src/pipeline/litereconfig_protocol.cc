@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
+#include <memory>
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
 #include "src/sched/contention_estimator.h"
+#include "src/sched/cost_table.h"
 #include "src/sched/drift.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace litereconfig {
 
@@ -20,6 +22,11 @@ constexpr double kCalibrationEwma = 0.3;
 constexpr int kTailFrames = 12;
 // Object count assumed when ranking branches for the watchdog fallback.
 constexpr int kFallbackObjectCount = 3;
+// Tracker halves smaller than this many track-steps (tracked objects x tail
+// frames) run inline even with pipelining on: the defer round-trip (enqueue +
+// worker wakeup + join) costs more than simulating a small tail, so only GoFs
+// with real tracking work are worth shipping to a pool worker.
+constexpr int kPipelineMinTrackSteps = 64;
 // Predictive robustness: the drift monitor runs per video stream (tens of
 // GoFs), so its window and bias threshold are sized well below the offline
 // defaults — a thermal ramp must be caught before the stream ends.
@@ -36,6 +43,15 @@ TrackerConfig CoastTracker(const Branch& branch) {
   return branch.has_tracker ? branch.tracker
                             : TrackerConfig{TrackerType::kMedianFlow, 4};
 }
+
+// One in-flight GoF: the anchor detections (already known) plus the tracker
+// frames still being simulated by a deferred task. `task` is declared last so
+// its destructor joins before the data members it writes are destroyed.
+struct PendingGof {
+  DetectionList anchor;
+  std::vector<DetectionList> tracked;
+  DeferredTask task;
+};
 
 }  // namespace
 
@@ -125,17 +141,13 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   // scheduling behaviour this runtime must preserve.
   double cpu_ratio = 1.0;
   LatencyModel profiled_platform(models_->device, 0.0);
-  // Watchdog fallback target: the lowest-latency end of the Pareto frontier.
+  // Watchdog fallback target: the lowest-latency end of the Pareto frontier
+  // (the same shared scan the scheduler's degradation target uses).
   size_t cheapest_branch = 0;
   if (faults.active()) {
-    double cheapest_ms = std::numeric_limits<double>::infinity();
-    for (size_t b = 0; b < space.size(); ++b) {
-      double ms = env.platform->BranchFrameMs(space.at(b), kFallbackObjectCount);
-      if (ms < cheapest_ms) {
-        cheapest_ms = ms;
-        cheapest_branch = b;
-      }
-    }
+    cheapest_branch = CheapestBranchIndex(space.size(), [&](size_t b) {
+      return env.platform->BranchFrameMs(space.at(b), kFallbackObjectCount);
+    });
   }
   {
     // Preheat pass (paper footnote 6: "all branches and models are loaded and
@@ -152,6 +164,24 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       gpu_cal = observed / profiled.DetectorMs(probe);
     }
   }
+  // Intra-video pipelining: the previous GoF's tracker simulation runs as a
+  // deferred task while this iteration's scheduler pass (including heavy
+  // content-feature extraction) executes; the frames are joined and appended —
+  // in frame order — before anything reads stats.frames. The deferred closure
+  // is a pure function of its inputs and consumes no RNG, so results are
+  // bit-identical to the serial order at any thread count.
+  std::unique_ptr<PendingGof> pending;
+  auto flush_pending = [&stats, &pending]() {
+    if (pending == nullptr) {
+      return;
+    }
+    pending->task.Join();
+    stats.frames.push_back(std::move(pending->anchor));
+    for (DetectionList& frame : pending->tracked) {
+      stats.frames.push_back(std::move(frame));
+    }
+    pending.reset();
+  };
   int t = 0;
   while (t < video.frame_count()) {
     faults.BeginGof(t);
@@ -201,8 +231,15 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       }
       decision = scheduler_.Decide(ctx);
     }
+    // The decision above only needed the previous anchor. The in-flight GoF
+    // stays in flight until something actually reads stats.frames (the tail
+    // and coast paths) or the next GoF is launched, so the deferred tracker
+    // half overlaps this whole iteration — scheduler pass and anchor
+    // detection included. A pending GoF always lands at least one frame.
+    bool have_frames = pending != nullptr || !stats.frames.empty();
     if (decision.infeasible && current.has_value() &&
-        video.frame_count() - t <= kTailFrames && !stats.frames.empty()) {
+        video.frame_count() - t <= kTailFrames && have_frames) {
+      flush_pending();
       // Tail continuation: no detector pass fits the remaining frames; keep
       // tracking from the last emitted outputs.
       const Branch& cur_branch = space.at(*current);
@@ -237,7 +274,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     // Resolve the GoF's detector invocation against the fault plan before
     // committing to a switch: a coasted GoF stays on the current branch.
     FaultRuntime::DetectorOutcome outcome = faults.ResolveDetector(
-        t, platform->DetectorMs(branch.detector), !stats.frames.empty());
+        t, platform->DetectorMs(branch.detector), have_frames);
     if (outcome.coast) {
       // Coast mode: the detector is down (or the capture dropped); extend
       // tracking from the last emitted outputs and mark the frames degraded.
@@ -247,6 +284,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       int length = std::min(coast_branch.has_tracker ? coast_branch.gof : branch.gof,
                             video.frame_count() - t);
       length = std::max(length, 1);
+      flush_pending();
       const DetectionList last_frame = stats.frames.back();
       std::vector<DetectionList> coasted = ExecutionKernel::TrackOnly(
           video, t, length, coast_tracker, last_frame, env.run_salt);
@@ -280,10 +318,15 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
                                                   stats.switch_count, rng);
       ++stats.switch_count;
     }
-    GofResult gof = ExecutionKernel::RunGof(video, t, branch, env.run_salt);
-    if (gof.frames.empty()) {
+    // The anchor half of the GoF runs now (the decision and latency accounting
+    // below need only the anchor detections and the frame count); the tracker
+    // half is deferred and overlaps the next iteration's scheduler pass.
+    int length = std::min(branch.gof, video.frame_count() - t);
+    if (length <= 0) {
       break;
     }
+    DetectionList anchor_dets =
+        ExecutionKernel::DetectAnchor(video, t, branch, env.run_salt);
     double det_nominal = platform->Sample(platform->DetectorMs(branch.detector), rng);
     double det_sample = det_nominal * outcome.outlier_scale;
     // Online contention calibration against the zero-contention profile. With
@@ -305,22 +348,25 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     }
     double track_total = 0.0;
     if (branch.has_tracker) {
-      int tracked = CountConfident(gof.anchor_detections);
-      for (size_t i = 1; i < gof.frames.size(); ++i) {
+      // The latency model charges per tracked object and per frame; neither
+      // depends on the simulated tracker outputs, so the samples draw from the
+      // RNG in the serial order while the tracker frames are still in flight.
+      int tracked = CountConfident(anchor_dets);
+      for (int i = 1; i < length; ++i) {
         track_total += platform->Sample(
             platform->TrackerMs(branch.tracker, tracked), rng);
       }
-      if (predictive && gof.frames.size() > 1) {
+      if (predictive && length > 1) {
         double profiled_track =
             profiled_platform.TrackerMs(branch.tracker, tracked) *
-            static_cast<double>(gof.frames.size() - 1);
+            static_cast<double>(length - 1);
         if (profiled_track > 0.0) {
           cpu_ratio = (1.0 - kCalibrationEwma) * cpu_ratio +
                       kCalibrationEwma * (track_total / profiled_track);
         }
       }
     }
-    double len = static_cast<double>(gof.frames.size());
+    double len = static_cast<double>(length);
     stats.detector_ms += det_sample + outcome.penalty_ms;
     stats.tracker_ms += track_total;
     stats.scheduler_ms += decision.scheduler_cost_ms;
@@ -367,16 +413,25 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     if (predictive) {
       // Slow loop: the drift monitor compares the decision-time nominal
       // prediction (branch cost + the amortized scheduler/switch overheads it
-      // cannot predict away) against the realized per-frame latency.
-      std::vector<double> light = ComputeLightFeatures(
-          video.spec().width, video.spec().height, anchor);
+      // cannot predict away) against the realized per-frame latency. The
+      // scheduler already computed the light features this prediction needs
+      // (SchedulerDecision carries them out); only the watchdog-fallback path,
+      // which skips the scheduler, recomputes them here.
+      std::vector<double> fallback_light;
+      if (decision.light_features.empty()) {
+        fallback_light = ComputeLightFeatures(video.spec().width,
+                                              video.spec().height, anchor);
+      }
+      const std::vector<double>& light = decision.light_features.empty()
+                                             ? fallback_light
+                                             : decision.light_features;
       double reference_ms = models_->latency.PredictFrameMs(
           decision.branch_index, light, gpu_cal_at_decision, cpu_cal);
       reference_ms +=
           ((charge_overhead ? decision.scheduler_cost_ms : 0.0) + switch_sample) /
           len;
       drift.ObserveLatency(reference_ms, observed_frame_ms);
-      drift.ObserveDetections(gof.anchor_detections);
+      drift.ObserveDetections(anchor_dets);
       DriftStatus status = drift.Check();
       if (status.latency_drift) {
         // Sustained bias that survived the GPU calibration loop: the residual
@@ -412,13 +467,31 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
         }
       }
     }
-    anchor = gof.anchor_detections;
-    for (DetectionList& frame : gof.frames) {
-      stats.frames.push_back(std::move(frame));
+    anchor = anchor_dets;
+    // Launch the tracker half of this GoF. With pipelining off (or when the
+    // pool has no spare worker by join time) the same closure runs inline on
+    // this thread — one code path, identical outputs.
+    flush_pending();
+    pending = std::make_unique<PendingGof>();
+    pending->anchor = std::move(anchor_dets);
+    PendingGof* raw = pending.get();
+    auto track_remainder = [raw, &video, &branch, t,
+                            salt = env.run_salt]() {
+      raw->tracked =
+          ExecutionKernel::TrackRemainder(video, t, branch, raw->anchor, salt);
+    };
+    int track_steps = branch.has_tracker
+                          ? (length - 1) * CountConfident(pending->anchor)
+                          : 0;
+    if (env.pipeline && track_steps >= kPipelineMinTrackSteps) {
+      pending->task = ThreadPool::Shared().Defer(track_remainder);
+    } else {
+      track_remainder();
     }
     t += static_cast<int>(len);
     current = decision.branch_index;
   }
+  flush_pending();
   stats.robustness = faults.TakeAccounting();
   return stats;
 }

@@ -46,6 +46,11 @@ struct RunEnv {
   // recalibration loop. Only takes effect when faults are injected and
   // `degrade` is on; the no-fault path is untouched by construction.
   bool predictive = false;
+  // Intra-video pipelining: protocols that support it overlap the GoF's
+  // tracker-frame simulation with the next decision's feature extraction
+  // (ThreadPool::Defer). Results are bit-identical either way — the flag
+  // exists for the perf harness and for the identity tests that prove it.
+  bool pipeline = true;
 };
 
 // What one protocol did on one video.

@@ -26,6 +26,7 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   env.fault_seed = config.fault_seed;
   env.degrade = config.degrade;
   env.predictive = config.predictive;
+  env.pipeline = config.pipeline;
 
   protocol.Reset();
 

@@ -33,6 +33,10 @@ struct EvalConfig {
   // Predictive robustness (contention forecasting, staged degradation, drift
   // recalibration); only meaningful with faults injected and degrade on.
   bool predictive = false;
+  // Intra-video pipelining (overlap tracker simulation with the next
+  // decision's feature extraction). Bit-identical results either way; off is
+  // the serial baseline the perf harness compares against.
+  bool pipeline = true;
 };
 
 struct EvalResult {

@@ -1,0 +1,62 @@
+#include "src/sched/cost_table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace litereconfig {
+
+size_t CheapestBranchIndex(size_t branch_count,
+                           const std::function<double(size_t)>& cost_ms) {
+  size_t cheapest = 0;
+  double cheapest_ms = std::numeric_limits<double>::infinity();
+  for (size_t b = 0; b < branch_count; ++b) {
+    double ms = cost_ms(b);
+    if (ms < cheapest_ms) {
+      cheapest_ms = ms;
+      cheapest = b;
+    }
+  }
+  return cheapest;
+}
+
+DecisionCostTable DecisionCostTable::Build(const TrainedModels& models,
+                                           const SchedulerConfig& config,
+                                           const DecisionContext& ctx,
+                                           const std::vector<double>& light) {
+  const BranchSpace& space = *models.space;
+  DecisionCostTable table;
+  table.branch_ms_.reserve(space.size());
+  table.switch_ms_.reserve(space.size());
+  table.gof_.reserve(space.size());
+  table.slo_limit_ms_ = ctx.slo_ms * config.slo_margin;
+  // The same conservative count headroom the reference FrameCostMs applies:
+  // the tracked-object population can grow by the time the GoF runs, so the
+  // tracker cost is predicted at count + 1.
+  std::vector<double> conservative = light;
+  conservative[2] += 1.0 / 8.0;
+  const Branch* current = ctx.current_branch.has_value()
+                              ? &space.at(*ctx.current_branch)
+                              : nullptr;
+  const bool charge_switch = config.use_switching_cost && current != nullptr &&
+                             models.switching.has_value();
+  for (size_t b = 0; b < space.size(); ++b) {
+    const Branch& branch = space.at(b);
+    int effective_gof = branch.gof;
+    if (ctx.frames_remaining > 0) {
+      effective_gof = std::min(effective_gof, ctx.frames_remaining);
+    }
+    table.branch_ms_.push_back(models.latency.PredictFrameMs(
+        b, conservative, ctx.gpu_cal, ctx.cpu_cal, effective_gof));
+    table.switch_ms_.push_back(
+        charge_switch ? models.switching->OfflineCostMs(*current, branch) : 0.0);
+    table.gof_.push_back(static_cast<double>(effective_gof));
+  }
+  return table;
+}
+
+size_t DecisionCostTable::Cheapest(double sched_ms) const {
+  return CheapestBranchIndex(
+      size(), [this, sched_ms](size_t b) { return CostMs(b, sched_ms); });
+}
+
+}  // namespace litereconfig

@@ -83,6 +83,11 @@ struct SchedulerConfig {
   // let the runtime calibrate latency predictions against observed kernel
   // times (contention adaptation).
   bool use_contention_calibration = true;
+  // Route Decide/SelectFeatures through the precomputed DecisionCostTable.
+  // Off runs the retained reference implementation instead — bit-identical
+  // decisions (see tests/sched_fastpath_test.cc), only slower; bench_perf uses
+  // this to measure the end-to-end cost of the scheduler hot path.
+  bool use_fast_path = true;
 };
 
 struct DecisionContext {
@@ -119,25 +124,61 @@ struct SchedulerDecision {
   double predicted_frame_ms = 0.0;
   // No branch satisfied the SLO; the cheapest branch was chosen instead.
   bool infeasible = false;
+  // The light features the decision was computed from, carried out so the
+  // runtime (drift monitoring, latency references) never recomputes them.
+  std::vector<double> light_features;
 };
+
+class DecisionCostTable;
 
 class LiteReconfigScheduler {
  public:
   LiteReconfigScheduler(const TrainedModels* models, SchedulerConfig config);
 
+  // The production decision path: precomputes a DecisionCostTable once per
+  // invocation (src/sched/cost_table.h) so every feasibility probe in feature
+  // selection and the branch scan is cheap arithmetic. Bit-identical to
+  // DecideReference by construction (tests/sched_fastpath_test.cc).
   SchedulerDecision Decide(const DecisionContext& ctx) const;
+
+  // The retained pre-table implementation: re-evaluates the latency predictor
+  // for every probe. Kept as the executable specification the fast path is
+  // property-tested against, and as the perf-harness baseline (bench_perf).
+  SchedulerDecision DecideReference(const DecisionContext& ctx) const;
+
+  // Greedy cost-benefit feature selection (Eq. 4), fast and reference forms.
+  // Public so the perf harness can time the selection stage in isolation.
+  std::vector<FeatureKind> SelectFeatures(const std::vector<double>& light,
+                                          const std::vector<double>& light_pred,
+                                          const DecisionContext& ctx) const;
+  std::vector<FeatureKind> SelectFeaturesReference(
+      const std::vector<double>& light, const std::vector<double>& light_pred,
+      const DecisionContext& ctx) const;
 
   const SchedulerConfig& config() const { return config_; }
 
  private:
-  // Amortized per-frame latency of branch b including scheduler + switch costs.
+  // Amortized per-frame latency of branch b including scheduler + switch costs
+  // (reference path; the fast path reads the same expression off the table).
   double FrameCostMs(size_t index, const std::vector<double>& light,
                      double sched_ms, const DecisionContext& ctx) const;
 
-  // Greedy cost-benefit feature selection (Eq. 4). Returns the chosen subset.
-  std::vector<FeatureKind> SelectFeatures(const std::vector<double>& light,
-                                          const std::vector<double>& light_pred,
-                                          const DecisionContext& ctx) const;
+  std::vector<FeatureKind> SelectFeaturesWithTable(
+      const std::vector<double>& light_pred, const DecisionContext& ctx,
+      const DecisionCostTable& table) const;
+
+  // Which heavy features the configured mode requests (shared by both paths;
+  // `fast` picks the table-backed or reference greedy selection for kFull).
+  std::vector<FeatureKind> ChooseHeavyFeatures(
+      const std::vector<double>& light, const std::vector<double>& light_pred,
+      const DecisionContext& ctx, const DecisionCostTable* table) const;
+
+  // Extracts the chosen heavy features and blends their accuracy predictions
+  // with the light-only model; identical arithmetic for both decision paths.
+  std::vector<double> PredictAccuracy(const std::vector<FeatureKind>& heavy,
+                                      const std::vector<double>& light,
+                                      const std::vector<double>& light_pred,
+                                      const DecisionContext& ctx) const;
 
   const TrainedModels* models_;
   SchedulerConfig config_;

@@ -220,6 +220,97 @@ TEST(DetlintTest, IncludePathMustBeRepoRooted) {
   EXPECT_TRUE(LintFileContent("src/a.cc", "#include <vector>\n").empty());
 }
 
+TEST(DetlintTest, ParallelAccumFlagsFloatAccumulationInExtent) {
+  // A shared double accumulated inside a ParallelFor body: the summation
+  // order would be which-thread-ran-first.
+  const std::string bad =
+      "void F(ThreadPool& pool) {\n"
+      "  double sum = 0.0;\n"
+      "  pool.ParallelFor(n, [&](size_t i) {\n"
+      "    sum += Cost(i);\n"
+      "  });\n"
+      "}\n";
+  std::vector<LintViolation> found = LintFileContent("src/a.cc", bad);
+  ASSERT_TRUE(HasRule(found, "parallel-accum"));
+  // The violation anchors on the accumulation line, not the call line.
+  for (const LintViolation& violation : found) {
+    if (violation.rule == "parallel-accum") {
+      EXPECT_EQ(violation.line, 4);
+    }
+  }
+  // All compound-assignment spellings are covered.
+  for (const char* op : {"-=", "*=", "/="}) {
+    std::string variant = bad;
+    variant.replace(variant.find("+="), 2, op);
+    EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", variant), "parallel-accum"))
+        << op;
+  }
+}
+
+TEST(DetlintTest, ParallelAccumSpansMultilineCallSites) {
+  const std::string bad =
+      "double total = 0.0;\n"
+      "ThreadPool::Shared().ParallelFor(\n"
+      "    videos.size(),\n"
+      "    [&](size_t i) {\n"
+      "      total += Evaluate(videos[i]);\n"
+      "    },\n"
+      "    threads);\n";
+  EXPECT_TRUE(HasRule(LintFileContent("src/a.cc", bad), "parallel-accum"));
+}
+
+TEST(DetlintTest, ParallelAccumIgnoresSafePatterns) {
+  // Per-index slot writes are the sanctioned pattern.
+  EXPECT_TRUE(LintFileContent("src/a.cc",
+                              "double out_ms[8];\n"
+                              "pool.ParallelFor(n, [&](size_t i) {\n"
+                              "  out[i] += Cost(i);\n"
+                              "});\n")
+                  .empty());
+  // Integer accumulation is not an order problem (it is still a race, which
+  // TSan owns; this rule is about floating-point order).
+  EXPECT_TRUE(LintFileContent("src/a.cc",
+                              "int count = 0;\n"
+                              "pool.ParallelFor(n, [&](size_t i) {\n"
+                              "  count += 1;\n"
+                              "});\n")
+                  .empty());
+  // Accumulation outside any parallel extent is fine.
+  EXPECT_TRUE(LintFileContent("src/a.cc",
+                              "double sum = 0.0;\n"
+                              "for (double v : values) {\n"
+                              "  sum += v;\n"
+                              "}\n"
+                              "pool.ParallelFor(n, body);\n")
+                  .empty());
+  // Serial reduction over ParallelMap results is the idiom the rule points to.
+  EXPECT_TRUE(LintFileContent("src/a.cc",
+                              "std::vector<double> costs =\n"
+                              "    pool.ParallelMap(n, [&](size_t i) "
+                              "{ return Cost(i); });\n"
+                              "double sum = 0.0;\n"
+                              "for (double c : costs) {\n"
+                              "  sum += c;\n"
+                              "}\n")
+                  .empty());
+}
+
+TEST(DetlintTest, ParallelAccumRespectsAllowances) {
+  const std::string allowed_inline =
+      "double sum = 0.0;\n"
+      "pool.ParallelFor(n, [&](size_t i) {\n"
+      "  sum += Cost(i);  // detlint: allow(parallel-accum) guarded by mutex\n"
+      "});\n";
+  EXPECT_TRUE(LintFileContent("src/a.cc", allowed_inline).empty());
+  const std::string allowed_preceding =
+      "double sum = 0.0;\n"
+      "pool.ParallelFor(n, [&](size_t i) {\n"
+      "  // detlint: allow(parallel-accum) guarded by mutex\n"
+      "  sum += Cost(i);\n"
+      "});\n";
+  EXPECT_TRUE(LintFileContent("src/a.cc", allowed_preceding).empty());
+}
+
 TEST(DetlintTest, FormatViolationIsEditorClickable) {
   LintViolation violation{"src/a.cc", 12, "banned-time", "wall-clock read"};
   EXPECT_EQ(FormatViolation(violation),

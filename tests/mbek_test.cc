@@ -92,6 +92,53 @@ TEST(KernelTest, PastEndReturnsEmpty) {
   Branch branch;
   branch.detector = {320, 10};
   EXPECT_TRUE(ExecutionKernel::RunGof(video, 20, branch).frames.empty());
+  EXPECT_TRUE(ExecutionKernel::DetectAnchor(video, 20, branch).empty());
+  EXPECT_TRUE(ExecutionKernel::TrackRemainder(video, 20, branch, {}).empty());
+}
+
+// RunGof must equal its pipelined decomposition exactly: the intra-video
+// pipelining in LiteReconfigProtocol replays a GoF as DetectAnchor now +
+// TrackRemainder deferred, and the bit-identity of EvalResults rests on this.
+TEST(KernelTest, RunGofEqualsDetectAnchorPlusTrackRemainder) {
+  const BranchSpace& space = BranchSpace::Default();
+  for (uint64_t seed : {11u, 12u}) {
+    SyntheticVideo video = MakeVideo(seed, seed % 2 == 0
+                                               ? SceneArchetype::kCrowded
+                                               : SceneArchetype::kSparse);
+    for (size_t b = 0; b < space.size(); b += 23) {
+      const Branch& branch = space.at(b);
+      for (int start : {0, 37, video.frame_count() - 2}) {
+        GofResult composed;
+        composed.anchor_detections =
+            ExecutionKernel::DetectAnchor(video, start, branch, /*run_salt=*/5);
+        composed.frames.push_back(composed.anchor_detections);
+        for (DetectionList& frame : ExecutionKernel::TrackRemainder(
+                 video, start, branch, composed.anchor_detections,
+                 /*run_salt=*/5)) {
+          composed.frames.push_back(std::move(frame));
+        }
+        GofResult whole = ExecutionKernel::RunGof(video, start, branch,
+                                                  /*run_salt=*/5);
+        ASSERT_EQ(whole.frames.size(), composed.frames.size())
+            << "branch " << b << " start " << start;
+        ASSERT_EQ(whole.anchor_detections.size(),
+                  composed.anchor_detections.size());
+        for (size_t f = 0; f < whole.frames.size(); ++f) {
+          ASSERT_EQ(whole.frames[f].size(), composed.frames[f].size())
+              << "frame " << f;
+          for (size_t d = 0; d < whole.frames[f].size(); ++d) {
+            EXPECT_EQ(whole.frames[f][d].box.x, composed.frames[f][d].box.x);
+            EXPECT_EQ(whole.frames[f][d].box.y, composed.frames[f][d].box.y);
+            EXPECT_EQ(whole.frames[f][d].box.w, composed.frames[f][d].box.w);
+            EXPECT_EQ(whole.frames[f][d].box.h, composed.frames[f][d].box.h);
+            EXPECT_EQ(whole.frames[f][d].score, composed.frames[f][d].score);
+            EXPECT_EQ(whole.frames[f][d].class_id,
+                      composed.frames[f][d].class_id);
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(KernelTest, SnippetAccuracyInUnitRange) {

@@ -34,6 +34,10 @@ void ExpectIdentical(const EvalResult& a, const EvalResult& b) {
   EXPECT_EQ(a.faults_absorbed, b.faults_absorbed);
   EXPECT_EQ(a.degraded_frames, b.degraded_frames);
   EXPECT_EQ(a.mean_recovery_gofs, b.mean_recovery_gofs);
+  EXPECT_EQ(a.recalibrations, b.recalibrations);
+  EXPECT_EQ(a.reanchors, b.reanchors);
+  EXPECT_EQ(a.preemptive_replans, b.preemptive_replans);
+  EXPECT_EQ(a.forecast_absorbed, b.forecast_absorbed);
   ASSERT_EQ(a.failures.size(), b.failures.size());
   for (size_t i = 0; i < a.failures.size(); ++i) {
     EXPECT_EQ(a.failures[i].kind, b.failures[i].kind) << "failure " << i;
@@ -83,6 +87,50 @@ TEST(ParallelEvalTest, ParallelRunIsStableAcrossRepeats) {
   EvalResult first = RunWithThreads(protocol, 4);
   EvalResult second = RunWithThreads(protocol, 4);
   ExpectIdentical(first, second);
+}
+
+// The intra-video pipelining contract: the deferred tracker simulation is a
+// pure function of its inputs, so the pipelined run is bit-identical to the
+// serial (pipeline=false) run at every thread count, including with faults and
+// the predictive-robustness loops armed.
+TEST(ParallelEvalTest, PipelinedRunMatchesSerialAtEveryThreadCount) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  EvalConfig serial_config;
+  serial_config.slo_ms = 33.3;
+  serial_config.threads = 1;
+  serial_config.pipeline = false;
+  EvalResult serial = OnlineRunner::Run(protocol, TinyValidation(), serial_config);
+  EXPECT_GT(serial.frames, 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    EvalConfig config = serial_config;
+    config.threads = threads;
+    config.pipeline = true;
+    EvalResult pipelined = OnlineRunner::Run(protocol, TinyValidation(), config);
+    ExpectIdentical(serial, pipelined);
+  }
+}
+
+TEST(ParallelEvalTest, PipelinedRunIsIdenticalUnderFaultsAndPredictive) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  EvalConfig base;
+  base.slo_ms = 33.3;
+  base.faults = FaultSpec::Moderate();
+  base.fault_seed = 11;
+  base.degrade = true;
+  base.predictive = true;
+  base.threads = 1;
+  base.pipeline = false;
+  EvalResult serial = OnlineRunner::Run(protocol, TinyValidation(), base);
+  EXPECT_GT(serial.faults_injected, 0);
+  for (int threads : {1, 2, 4, 8}) {
+    EvalConfig config = base;
+    config.threads = threads;
+    config.pipeline = true;
+    EvalResult pipelined = OnlineRunner::Run(protocol, TinyValidation(), config);
+    ExpectIdentical(serial, pipelined);
+  }
 }
 
 TEST(ParallelEvalTest, ApproxDetIsIdenticalAcrossThreadCounts) {

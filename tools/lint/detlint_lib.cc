@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -203,6 +204,123 @@ std::vector<std::string> UnorderedDeclNames(const std::string& code) {
     }
   }
   return names;
+}
+
+// Returns identifiers declared on this line with a double/float type, e.g.
+// "double sum = 0.0;" yields "sum". Skips matches where the following token is
+// not an identifier (template arguments, casts) or opens a parameter list (a
+// function returning double).
+std::vector<std::string> FloatDeclNames(const std::string& code) {
+  std::vector<std::string> names;
+  for (const char* marker : {"double", "float"}) {
+    const std::string token = marker;
+    size_t pos = FindToken(code, token, /*require_call=*/false, 0);
+    while (pos != std::string::npos) {
+      size_t name_start = code.find_first_not_of(" \t*&", pos + token.size());
+      if (name_start != std::string::npos && IsIdentChar(code[name_start]) &&
+          std::isdigit(static_cast<unsigned char>(code[name_start])) == 0) {
+        size_t name_end = name_start;
+        while (name_end < code.size() && IsIdentChar(code[name_end])) {
+          ++name_end;
+        }
+        size_t after = code.find_first_not_of(" \t", name_end);
+        if (after == std::string::npos || code[after] != '(') {
+          names.push_back(code.substr(name_start, name_end - name_start));
+        }
+      }
+      pos = FindToken(code, token, /*require_call=*/false, pos + token.size());
+    }
+  }
+  return names;
+}
+
+// Scans the paren-balanced extents of ParallelFor(...)/ParallelMap(...) call
+// sites for compound assignments (+=, -=, *=, /=) onto identifiers declared
+// with a double/float type anywhere in the file. The sum of floating-point
+// terms depends on evaluation order, and inside a parallel extent that order
+// is which-thread-ran-first — exactly the nondeterminism the thread pool's
+// index-distribution design exists to rule out. Indexed writes (out[i] += ...)
+// target per-index slots and are not flagged; neither are member accesses.
+void CheckParallelAccum(
+    const std::string& stripped,
+    const std::vector<std::string>& float_names,
+    const std::function<bool(size_t, const char*)>& allowed_on,
+    const std::function<void(size_t, const char*, const std::string&)>& report) {
+  for (const char* marker : {"ParallelFor", "ParallelMap"}) {
+    const std::string token = marker;
+    size_t pos = FindToken(stripped, token, /*require_call=*/false, 0);
+    while (pos != std::string::npos) {
+      size_t open = stripped.find_first_not_of(" \t", pos + token.size());
+      if (open == std::string::npos || stripped[open] != '(') {
+        pos = FindToken(stripped, token, /*require_call=*/false,
+                        pos + token.size());
+        continue;
+      }
+      int depth = 0;
+      size_t close = stripped.size();
+      for (size_t i = open; i < stripped.size(); ++i) {
+        if (stripped[i] == '(') {
+          ++depth;
+        } else if (stripped[i] == ')') {
+          if (--depth == 0) {
+            close = i;
+            break;
+          }
+        }
+      }
+      for (size_t i = open; i + 1 < close; ++i) {
+        char op = stripped[i];
+        if ((op != '+' && op != '-' && op != '*' && op != '/') ||
+            stripped[i + 1] != '=' ||
+            (i + 2 < stripped.size() && stripped[i + 2] == '=')) {
+          continue;
+        }
+        // ++/-- and operator tokens are not compound assignments.
+        if (i > 0 && (stripped[i - 1] == op || stripped[i - 1] == '<' ||
+                      stripped[i - 1] == '>')) {
+          continue;
+        }
+        // Walk back to the assigned-to expression.
+        size_t j = i;
+        while (j > open && (stripped[j - 1] == ' ' || stripped[j - 1] == '\t')) {
+          --j;
+        }
+        if (j == open || stripped[j - 1] == ']') {
+          continue;  // indexed write into a per-index slot: order-independent
+        }
+        size_t name_end = j;
+        while (j > open && IsIdentChar(stripped[j - 1])) {
+          --j;
+        }
+        if (j == name_end) {
+          continue;
+        }
+        if (j > open && (stripped[j - 1] == '.' || stripped[j - 1] == '>')) {
+          continue;  // member access; out of scope for this heuristic
+        }
+        std::string name = stripped.substr(j, name_end - j);
+        bool is_float = false;
+        for (const std::string& candidate : float_names) {
+          is_float = is_float || candidate == name;
+        }
+        if (!is_float) {
+          continue;
+        }
+        size_t line = static_cast<size_t>(
+            std::count(stripped.begin(), stripped.begin() + static_cast<long>(i),
+                       '\n'));
+        if (!allowed_on(line, "parallel-accum")) {
+          report(line, "parallel-accum",
+                 "'" + name + "' accumulates floating-point terms inside a " +
+                     marker + " extent; the result depends on thread "
+                     "scheduling. Write per-index results into caller-owned "
+                     "slots and reduce serially, or justify with "
+                     "'// detlint: allow(parallel-accum) <reason>'");
+        }
+      }
+      pos = FindToken(stripped, token, /*require_call=*/false, close);
+    }
+  }
 }
 
 // If `code` holds a range-for, returns the range expression ("for (x : expr)").
@@ -450,7 +568,8 @@ std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path
   const bool is_mutex_header = repo_relative_path == "src/util/mutex.h";
 
   std::vector<std::string> raw_lines = SplitLines(content);
-  std::vector<std::string> code_lines = SplitLines(StripCommentsAndStrings(content));
+  const std::string stripped = StripCommentsAndStrings(content);
+  std::vector<std::string> code_lines = SplitLines(stripped);
   code_lines.resize(raw_lines.size());
 
   std::vector<LintViolation> found;
@@ -459,11 +578,16 @@ std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path
         {repo_relative_path, static_cast<int>(index + 1), rule, message});
   };
 
-  // Pass 1: names declared as unordered containers anywhere in the file.
+  // Pass 1: names declared as unordered containers anywhere in the file, and
+  // names declared with a floating-point type (the parallel-accum scan).
   std::vector<std::string> container_decl_names;
+  std::vector<std::string> float_decl_names;
   for (const std::string& code : code_lines) {
     for (std::string& name : UnorderedDeclNames(code)) {
       container_decl_names.push_back(std::move(name));
+    }
+    for (std::string& name : FloatDeclNames(code)) {
+      float_decl_names.push_back(std::move(name));
     }
   }
 
@@ -543,6 +667,20 @@ std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path
            "allow(mutable-global) <reason>'");
     }
   }
+
+  // Pass 3: floating-point accumulation order inside parallel extents. Runs
+  // over the whole stripped content because call sites routinely span lines.
+  auto allowed_on = [&](size_t line, const char* rule) {
+    if (line < raw_lines.size() &&
+        ParseAllowances(raw_lines[line]).count(rule) > 0) {
+      return true;
+    }
+    return line > 0 && StartsWith(LTrim(raw_lines[line - 1]), "//") &&
+           ParseAllowances(raw_lines[line - 1]).count(rule) > 0;
+  };
+  CheckParallelAccum(stripped, float_decl_names, allowed_on,
+                     [&](size_t line, const char* rule,
+                         const std::string& message) { report(line, rule, message); });
 
   if (is_header) {
     CheckHeaderGuard(repo_relative_path, raw_lines, &found);

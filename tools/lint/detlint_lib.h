@@ -22,6 +22,10 @@
 //                    is unspecified and must not feed results.
 //   mutable-global   file-scope / static / thread_local mutable state — a
 //                    hidden channel between runs and between threads.
+//   parallel-accum   compound assignment (+=, -=, *=, /=) onto a double/float
+//                    inside a ParallelFor/ParallelMap extent — floating-point
+//                    accumulation order would depend on thread scheduling;
+//                    write per-index slots and reduce serially.
 //   header-guard     #ifndef guard must be the repo-relative path, uppercase,
 //                    with a matching #define and a "#endif  // GUARD" trailer.
 //   include-path     project includes are written from the repo root
