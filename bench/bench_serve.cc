@@ -1,0 +1,127 @@
+// Multi-tenant serving bench: the StreamingService under a bursty arrival
+// trace, cost-benefit allocator vs the equal-split baseline, per-SLO-class
+// deadline-miss accounting (EXPERIMENTS.md "Multi-tenant serving" table).
+//
+// Acceptance gates (exit status):
+//   1. the trace exercises real multi-tenancy: peak concurrency >= 4 streams;
+//   2. the cost-benefit allocator beats equal-split where it should — strictly
+//      higher aggregate accuracy at an equal-or-lower aggregate deadline-miss
+//      count (same arrival trace, same device);
+//   3. the whole service is deterministic: ServeEvalJson byte-identical across
+//      --threads={1,2,8} for the fixed arrival seed.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/pipeline/serve_runner.h"
+
+namespace litereconfig {
+namespace {
+
+// The benched trace: one burst of 8 streams on the TX2. Seed picked so the
+// trace mixes all three SLO classes (deterministic: same trace every run).
+ArrivalSpec BenchSpec() {
+  ArrivalSpec spec;
+  spec.seed = 2;
+  spec.num_streams = 8;
+  spec.frames_per_video = 120;
+  spec.mean_interarrival_rounds = 0.5;
+  return spec;
+}
+
+ServeConfig BenchConfig(AllocatorMode mode, int threads) {
+  ServeConfig config;
+  config.allocator.mode = mode;
+  config.threads = threads;
+  return config;
+}
+
+int Run(int argc, char** argv) {
+  int threads = BenchThreads(argc, argv);
+  const Workbench& wb = Workbench::Get(DeviceType::kTx2);
+  ArrivalSpec spec = BenchSpec();
+
+  WallTimer timer;
+  ServeEval costbenefit = ServeRunner::Run(
+      wb.models(), spec, BenchConfig(AllocatorMode::kCostBenefit, threads));
+  ServeEval equalsplit = ServeRunner::Run(
+      wb.models(), spec, BenchConfig(AllocatorMode::kEqualSplit, threads));
+  double bench_ms = timer.ElapsedMs();
+
+  TablePrinter table({"allocator", "mAP (mean/stream)", "misses", "strict",
+                      "standard", "best_effort", "peak streams", "rounds"});
+  struct RowSpec {
+    const char* name;
+    const ServeEval* eval;
+  };
+  for (RowSpec entry : {RowSpec{"cost-benefit", &costbenefit},
+                        RowSpec{"equal-split", &equalsplit}}) {
+    const ServeResult& r = entry.eval->result;
+    std::vector<std::string> row{entry.name,
+                                 FmtDouble(r.mean_accuracy * 100.0, 2),
+                                 std::to_string(r.total_misses)};
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      size_t cls = static_cast<size_t>(c);
+      row.push_back(StrFormat("%d/%d", r.misses_by_class[cls],
+                              r.gofs_by_class[cls]));
+    }
+    row.push_back(std::to_string(r.peak_concurrency));
+    row.push_back(std::to_string(r.rounds));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "[bench] wall time: " << FmtDouble(bench_ms, 0) << " ms\n\n";
+
+  bool gate_ok = true;
+  const ServeResult& cb = costbenefit.result;
+  const ServeResult& eq = equalsplit.result;
+  if (cb.peak_concurrency < 4) {
+    std::cout << "GATE FAIL: peak concurrency " << cb.peak_concurrency
+              << " < 4 — the trace does not exercise multi-tenancy\n";
+    gate_ok = false;
+  } else {
+    std::cout << "gate: peak concurrency " << cb.peak_concurrency << " >= 4\n";
+  }
+  if (cb.mean_accuracy <= eq.mean_accuracy) {
+    std::cout << "GATE FAIL: cost-benefit accuracy "
+              << FmtDouble(cb.mean_accuracy * 100.0, 2)
+              << "% <= equal-split "
+              << FmtDouble(eq.mean_accuracy * 100.0, 2) << "%\n";
+    gate_ok = false;
+  } else {
+    std::cout << "gate: cost-benefit accuracy "
+              << FmtDouble(cb.mean_accuracy * 100.0, 2) << "% > equal-split "
+              << FmtDouble(eq.mean_accuracy * 100.0, 2) << "%\n";
+  }
+  if (cb.total_misses > eq.total_misses) {
+    std::cout << "GATE FAIL: cost-benefit misses " << cb.total_misses
+              << " > equal-split " << eq.total_misses << "\n";
+    gate_ok = false;
+  } else {
+    std::cout << "gate: cost-benefit misses " << cb.total_misses
+              << " <= equal-split " << eq.total_misses << "\n";
+  }
+  // Determinism: the JSON artifact must not depend on the thread count.
+  std::string reference = ServeEvalJson(costbenefit);
+  for (int t : {1, 2, 8}) {
+    ServeEval rerun = ServeRunner::Run(
+        wb.models(), spec, BenchConfig(AllocatorMode::kCostBenefit, t));
+    if (ServeEvalJson(rerun) != reference) {
+      std::cout << "GATE FAIL: ServeEvalJson differs at --threads=" << t
+                << "\n";
+      gate_ok = false;
+    }
+  }
+  if (gate_ok) {
+    std::cout << "gate: ServeEvalJson identical at --threads={1,2,8}\n";
+  }
+
+  std::cout << "\nserve gate: " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  return gate_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace litereconfig
+
+int main(int argc, char** argv) { return litereconfig::Run(argc, argv); }

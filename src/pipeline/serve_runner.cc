@@ -1,0 +1,162 @@
+#include "src/pipeline/serve_runner.h"
+
+#include <sstream>
+
+#include "src/platform/device.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+
+namespace litereconfig {
+
+namespace {
+
+std::string_view ServeEventName(ServeEvent::Kind kind) {
+  switch (kind) {
+    case ServeEvent::Kind::kAdmit:
+      return "admit";
+    case ServeEvent::Kind::kQueue:
+      return "queue";
+    case ServeEvent::Kind::kReject:
+      return "reject";
+    case ServeEvent::Kind::kDepart:
+      return "depart";
+    case ServeEvent::Kind::kGof:
+      return "decision";
+  }
+  return "unknown";
+}
+
+DecisionRecord ToRecord(const TrainedModels& models, const ServeEvent& event) {
+  DecisionRecord record;
+  record.event = std::string(ServeEventName(event.kind));
+  // Streams play the role videos play in the single-tenant trace: records are
+  // buffered and grouped per stream id.
+  record.video_seed = event.stream_id;
+  if (event.kind != ServeEvent::Kind::kGof) {
+    record.frame = event.round;
+    return record;
+  }
+  record.frame = event.gof.frame;
+  record.branch_id = models.space->at(event.gof.branch).Id();
+  record.predicted_accuracy = event.gof.predicted_accuracy;
+  record.predicted_frame_ms = event.gof.predicted_frame_ms;
+  record.scheduler_cost_ms = event.gof.scheduler_ms;
+  record.switch_cost_ms = event.gof.switch_ms;
+  record.actual_frame_ms = event.gof.frame_ms;
+  record.gof_length = event.gof.gof_length;
+  record.switched = event.gof.switched;
+  record.infeasible = event.gof.infeasible;
+  record.missed = event.gof.missed;
+  // In serving mode the calibration is analytic: the inflation at the frozen
+  // endogenous level.
+  record.gpu_cal = ContentionGenerator(event.level).GpuInflation();
+  return record;
+}
+
+}  // namespace
+
+EvalResult StreamEvalResult(const StreamOutcome& outcome) {
+  EvalResult result;
+  result.map = outcome.map;
+  result.mean_ms = Mean(outcome.gof_frame_ms);
+  result.p95_ms = Percentile(outcome.gof_frame_ms, 0.95);
+  size_t violations = 0;
+  for (double v : outcome.gof_frame_ms) {
+    if (v > outcome.slo_ms) {
+      ++violations;
+    }
+  }
+  result.violation_rate =
+      outcome.gof_frame_ms.empty()
+          ? 0.0
+          : static_cast<double>(violations) /
+                static_cast<double>(outcome.gof_frame_ms.size());
+  result.switch_count = outcome.switch_count;
+  result.frames = outcome.frames;
+  result.deadline_misses = outcome.deadline_misses;
+  result.degraded_frames = outcome.forced_gofs;
+  result.gof_frame_ms = outcome.gof_frame_ms;
+  return result;
+}
+
+ServeEval ServeRunner::Run(const TrainedModels& models, const ArrivalSpec& spec,
+                           const ServeConfig& config, TraceWriter* trace) {
+  std::vector<StreamRequest> requests = GenerateArrivals(spec);
+  ServeConfig run_config = config;
+  if (trace != nullptr) {
+    std::function<void(const ServeEvent&)> inner = config.observer;
+    run_config.observer = [trace, &models, inner](const ServeEvent& event) {
+      trace->Write(ToRecord(models, event));
+      if (inner) {
+        inner(event);
+      }
+    };
+  }
+  StreamingService service(&models, run_config);
+  ServeEval eval;
+  eval.result = service.Run(requests);
+  for (const StreamOutcome& outcome : eval.result.streams) {
+    if (outcome.admit_round < 0) {
+      continue;
+    }
+    eval.per_stream.push_back(StreamEvalResult(outcome));
+  }
+  return eval;
+}
+
+std::string ServeEvalJson(const ServeEval& eval) {
+  const ServeResult& r = eval.result;
+  std::ostringstream os;
+  os << "{\"mean_accuracy\":" << FmtDouble(r.mean_accuracy, 6)
+     << ",\"total_misses\":" << r.total_misses
+     << ",\"total_frames\":" << r.total_frames
+     << ",\"rounds\":" << r.rounds
+     << ",\"peak_concurrency\":" << r.peak_concurrency
+     << ",\"peak_queue\":" << r.peak_queue
+     << ",\"admitted\":" << r.admitted
+     << ",\"rejected\":" << r.rejected;
+  os << ",\"misses_by_class\":{";
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    if (c > 0) {
+      os << ",";
+    }
+    os << "\"" << SloClassName(static_cast<SloClass>(c))
+       << "\":" << r.misses_by_class[static_cast<size_t>(c)];
+  }
+  os << "},\"gofs_by_class\":{";
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    if (c > 0) {
+      os << ",";
+    }
+    os << "\"" << SloClassName(static_cast<SloClass>(c))
+       << "\":" << r.gofs_by_class[static_cast<size_t>(c)];
+  }
+  os << "},\"streams\":[";
+  for (size_t i = 0; i < r.streams.size(); ++i) {
+    const StreamOutcome& s = r.streams[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"id\":" << s.stream_id
+       << ",\"class\":\"" << SloClassName(s.slo_class) << "\""
+       << ",\"slo_ms\":" << FmtDouble(s.slo_ms, 3)
+       << ",\"arrival\":" << s.arrival_round
+       << ",\"admit\":" << s.admit_round
+       << ",\"depart\":" << s.depart_round
+       << ",\"rejected\":" << (s.rejected ? "true" : "false")
+       << ",\"queued_rounds\":" << s.rounds_queued
+       << ",\"map\":" << FmtDouble(s.map, 6)
+       << ",\"mean_ms\":" << FmtDouble(Mean(s.gof_frame_ms), 4)
+       << ",\"p95_ms\":" << FmtDouble(Percentile(s.gof_frame_ms, 0.95), 4)
+       << ",\"misses\":" << s.deadline_misses
+       << ",\"gofs\":" << s.gofs
+       << ",\"frames\":" << s.frames
+       << ",\"switches\":" << s.switch_count
+       << ",\"forced\":" << s.forced_gofs
+       << ",\"infeasible\":" << s.infeasible_gofs << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,46 @@
+// The serving evaluation harness: runs the multi-tenant StreamingService over
+// a seeded arrival trace and renders the outcome on the same surfaces the
+// single-tenant runner uses — per-stream EvalResults, a one-line JSON record
+// (the byte-diffable artifact of the serve-determinism CI job), and the
+// decision-trace format (TraceWriter).
+#ifndef SRC_PIPELINE_SERVE_RUNNER_H_
+#define SRC_PIPELINE_SERVE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pipeline/runner.h"
+#include "src/pipeline/trace.h"
+#include "src/serve/service.h"
+
+namespace litereconfig {
+
+struct ServeEval {
+  ServeResult result;
+  // One EvalResult per served stream, in stream_id order (rejected streams are
+  // skipped); latency metrics over the stream's GoF samples, mAP per stream.
+  std::vector<EvalResult> per_stream;
+};
+
+class ServeRunner {
+ public:
+  // Runs the service over the trace. When `trace` is non-null every admission
+  // event and per-stream GoF lands in it as a DecisionRecord (the stream id is
+  // carried in video_seed); the caller flushes. Deterministic at any
+  // config.threads for fixed (models, spec, config).
+  static ServeEval Run(const TrainedModels& models, const ArrivalSpec& spec,
+                       const ServeConfig& config, TraceWriter* trace = nullptr);
+};
+
+// Maps one stream's outcome onto the single-tenant result type.
+EvalResult StreamEvalResult(const StreamOutcome& outcome);
+
+// One-line JSON rendering of a serving run — aggregate accuracy, per-class
+// deadline misses, admission counters, and the per-stream results. Two runs
+// of the same spec must produce byte-identical strings at any thread count
+// (the serve-determinism gate diffs exactly this).
+std::string ServeEvalJson(const ServeEval& eval);
+
+}  // namespace litereconfig
+
+#endif  // SRC_PIPELINE_SERVE_RUNNER_H_

@@ -28,7 +28,7 @@ DecisionCostTable DecisionCostTable::Build(const TrainedModels& models,
   table.branch_ms_.reserve(space.size());
   table.switch_ms_.reserve(space.size());
   table.gof_.reserve(space.size());
-  table.slo_limit_ms_ = ctx.slo_ms * config.slo_margin;
+  table.slo_limit_ms_ = SloLimitMs(config, ctx);
   // The same conservative count headroom the reference FrameCostMs applies:
   // the tracked-object population can grow by the time the GoF runs, so the
   // tracker cost is predicted at count + 1.

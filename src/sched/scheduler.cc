@@ -21,6 +21,14 @@ double TrainedModels::FeatureCostMs(FeatureKind kind, double gpu_cal,
   return extract + predict;
 }
 
+double SloLimitMs(const SchedulerConfig& config, const DecisionContext& ctx) {
+  double slo = ctx.slo_ms;
+  if (ctx.budget_ms > 0.0 && ctx.budget_ms < slo) {
+    slo = ctx.budget_ms;
+  }
+  return slo * config.slo_margin;
+}
+
 LiteReconfigScheduler::LiteReconfigScheduler(const TrainedModels* models,
                                              SchedulerConfig config)
     : models_(models), config_(config) {
@@ -60,11 +68,12 @@ std::vector<FeatureKind> LiteReconfigScheduler::SelectFeaturesReference(
     const std::vector<double>& light, const std::vector<double>& light_pred,
     const DecisionContext& ctx) const {
   double s0 = models_->FeatureCostMs(FeatureKind::kLight, ctx.gpu_cal, ctx.cpu_cal);
+  double slo_limit = SloLimitMs(config_, ctx);
   // Best achievable light-only predicted accuracy under a given scheduler cost.
   auto base_best = [&](double sched_ms) {
     double best = -1.0;
     for (size_t b = 0; b < models_->space->size(); ++b) {
-      if (FrameCostMs(b, light, sched_ms, ctx) <= ctx.slo_ms * config_.slo_margin) {
+      if (FrameCostMs(b, light, sched_ms, ctx) <= slo_limit) {
         best = std::max(best, light_pred[b]);
       }
     }
@@ -339,6 +348,7 @@ SchedulerDecision LiteReconfigScheduler::DecideReference(
   SchedulerDecision decision;
   decision.heavy_features = std::move(heavy);
   decision.scheduler_cost_ms = s0 + heavy_cost;
+  double slo_limit = SloLimitMs(config_, ctx);
   double best_acc = -1.0;
   size_t best_branch = 0;
   double cheapest_ms = std::numeric_limits<double>::infinity();
@@ -351,7 +361,7 @@ SchedulerDecision LiteReconfigScheduler::DecideReference(
       cheapest_ms = frame_ms;
       cheapest_branch = b;
     }
-    if (frame_ms > ctx.slo_ms * config_.slo_margin) {
+    if (frame_ms > slo_limit) {
       continue;
     }
     if (frame_ms < feasible_cheapest_ms) {
@@ -381,7 +391,7 @@ SchedulerDecision LiteReconfigScheduler::DecideReference(
     // better (the switching cost itself is already inside the constraint).
     size_t cur = *ctx.current_branch;
     double cur_ms = FrameCostMs(cur, light, charged, ctx);
-    if (cur_ms <= ctx.slo_ms * config_.slo_margin &&
+    if (cur_ms <= slo_limit &&
         accuracy[cur] >= best_acc - config_.switch_hysteresis) {
       best_branch = cur;
       best_acc = accuracy[cur];

@@ -110,7 +110,16 @@ struct DecisionContext {
   // Weight on the content-aware refinement when blending heavy-feature
   // predictions with the light-only model; drift re-anchoring raises it.
   double heavy_blend = 0.5;
+  // Allocator-assigned per-frame budget cap (multi-tenant serving): the
+  // feasibility constraint tightens to min(slo_ms, budget_ms) so one stream
+  // cannot spend GPU time the global allocator granted to another. 0 (the
+  // default) means unconstrained — single-tenant behaviour is unchanged.
+  double budget_ms = 0.0;
 };
+
+// The margin-adjusted feasibility threshold both decision paths and the
+// DecisionCostTable constrain against: min(slo, allocator budget) * margin.
+double SloLimitMs(const SchedulerConfig& config, const DecisionContext& ctx);
 
 struct SchedulerDecision {
   size_t branch_index = 0;

@@ -1,0 +1,41 @@
+#include "src/serve/admission.h"
+
+namespace litereconfig {
+
+std::string_view AdmissionVerdictName(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit:
+      return "admit";
+    case AdmissionVerdict::kQueue:
+      return "queue";
+    case AdmissionVerdict::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+AdmissionVerdict AdmissionController::Evaluate(
+    const AdmissionRequest& request) const {
+  // Rejections first: states no amount of waiting fixes, or saturation.
+  if (!request.feasible_alone) {
+    return AdmissionVerdict::kReject;
+  }
+  if (request.rounds_queued >= config_.max_queue_rounds) {
+    return AdmissionVerdict::kReject;
+  }
+  // Admission: the marginal share fits under capacity (boundary inclusive —
+  // a stream that exactly fills the device is admitted), the session cap
+  // holds, and no existing stream is pushed infeasible.
+  if (request.active_streams < config_.max_streams &&
+      request.total_share + request.candidate_share <= config_.capacity &&
+      request.keeps_existing_feasible) {
+    return AdmissionVerdict::kAdmit;
+  }
+  // Otherwise wait for departures — unless the queue itself is saturated.
+  if (request.queued_streams >= config_.max_queue) {
+    return AdmissionVerdict::kReject;
+  }
+  return AdmissionVerdict::kQueue;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,322 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+
+#include "src/platform/gpu_ledger.h"
+#include "src/platform/latency.h"
+#include "src/util/thread_pool.h"
+
+namespace litereconfig {
+
+namespace {
+
+// Object count assumed for content-agnostic admission pricing (the same
+// fallback the protocols use before any anchor detections exist).
+constexpr int kFallbackObjectCount = 3;
+
+struct ShareEstimate {
+  bool feasible = false;
+  // GPU occupancy (zero-contention detector duty cycle) of the cheapest
+  // branch that stays SLO-feasible at the probed contention level.
+  double share = 0.0;
+};
+
+// Content-agnostic estimate of the cheapest feasible branch for a stream with
+// the given SLO at the given endogenous level. Feasibility is priced at the
+// level the stream would experience; the share is the branch's profiled
+// (zero-contention) detector time per capture interval — inflated time is
+// waiting, not occupancy.
+ShareEstimate CheapestShareAt(const TrainedModels& models, double slo_limit_ms,
+                              double level, double frame_interval_ms) {
+  const BranchSpace& space = *models.space;
+  LatencyModel probe(models.device, level);
+  LatencyModel zero(models.device, 0.0);
+  ShareEstimate estimate;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t b = 0; b < space.size(); ++b) {
+    const Branch& branch = space.at(b);
+    if (probe.BranchFrameMs(branch, kFallbackObjectCount) > slo_limit_ms) {
+      continue;
+    }
+    double share = zero.DetectorMs(branch.detector) /
+                   (static_cast<double>(std::max(branch.gof, 1)) *
+                    frame_interval_ms);
+    share = std::clamp(share, 0.0, 1.0);
+    if (share < best) {
+      best = share;
+      estimate.feasible = true;
+    }
+  }
+  estimate.share = estimate.feasible ? best : 0.0;
+  return estimate;
+}
+
+// A stream waiting for admission.
+struct PendingStream {
+  StreamRequest request;
+  size_t outcome = 0;  // index into the outcomes vector
+  int rounds_queued = 0;
+  bool queue_event_emitted = false;
+};
+
+bool PendingBefore(const PendingStream& a, const PendingStream& b) {
+  int pa = SloClassPriority(a.request.slo_class);
+  int pb = SloClassPriority(b.request.slo_class);
+  if (pa != pb) {
+    return pa < pb;
+  }
+  if (a.request.arrival_round != b.request.arrival_round) {
+    return a.request.arrival_round < b.request.arrival_round;
+  }
+  return a.request.stream_id < b.request.stream_id;
+}
+
+}  // namespace
+
+StreamingService::StreamingService(const TrainedModels* models,
+                                   ServeConfig config)
+    : models_(models), config_(std::move(config)) {
+  assert(models_ != nullptr);
+}
+
+ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
+  ServeResult result;
+  result.streams.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    StreamOutcome& outcome = result.streams[i];
+    outcome.stream_id = requests[i].stream_id;
+    outcome.slo_class = requests[i].slo_class;
+    outcome.slo_ms = requests[i].slo_ms;
+    outcome.arrival_round = requests[i].arrival_round;
+  }
+  // Requests in arrival order (the generator emits them sorted; re-sorting
+  // makes Run robust to hand-built traces).
+  std::vector<size_t> order(requests.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (requests[a].arrival_round != requests[b].arrival_round) {
+      return requests[a].arrival_round < requests[b].arrival_round;
+    }
+    return requests[a].stream_id < requests[b].stream_id;
+  });
+
+  SwitchingCostModel switching(models_->device);
+  AdmissionController admission(config_.admission);
+  AllocatorConfig allocator = config_.allocator;
+  // The allocator must speak the scheduler's margin: a granted budget has to
+  // land exactly on the menu cost it paid for after the margin multiply.
+  allocator.slo_margin = config_.scheduler.slo_margin;
+  double slo_margin = config_.scheduler.slo_margin;
+
+  GpuShareLedger ledger;
+  std::vector<std::unique_ptr<StreamSession>> sessions;
+  std::vector<size_t> session_outcome;  // aligned with `sessions`
+  std::vector<PendingStream> queue;
+  auto emit = [&](const ServeEvent& event) {
+    if (config_.observer) {
+      config_.observer(event);
+    }
+  };
+
+  size_t next_arrival = 0;
+  int round = 0;
+  while (next_arrival < requests.size() || !queue.empty() ||
+         !sessions.empty()) {
+    if (round >= config_.max_rounds) {
+      // Safety valve: whatever is still pending is turned away.
+      for (PendingStream& pending : queue) {
+        result.streams[pending.outcome].rejected = true;
+        result.streams[pending.outcome].rounds_queued = pending.rounds_queued;
+        ++result.rejected;
+      }
+      queue.clear();
+      break;
+    }
+    // 1. Arrivals join the pending queue.
+    while (next_arrival < requests.size() &&
+           requests[order[next_arrival]].arrival_round <= round) {
+      PendingStream pending;
+      pending.request = requests[order[next_arrival]];
+      pending.outcome = order[next_arrival];
+      queue.push_back(pending);
+      ++next_arrival;
+    }
+    // 2. Admission in SLO-class priority order, head-of-line: once one
+    // candidate has to wait, everything behind it waits too — budget freed by
+    // departures goes to the highest-priority waiter, never leap-frogged.
+    std::stable_sort(queue.begin(), queue.end(), PendingBefore);
+    std::vector<PendingStream> still_pending;
+    bool blocked = false;
+    for (PendingStream& pending : queue) {
+      StreamOutcome& outcome = result.streams[pending.outcome];
+      if (blocked) {
+        ++pending.rounds_queued;
+        still_pending.push_back(pending);
+        continue;
+      }
+      double limit = pending.request.slo_ms * slo_margin;
+      double interval = 1000.0 / pending.request.video.fps;
+      ShareEstimate alone = CheapestShareAt(*models_, limit, 0.0, interval);
+      double level_if_admitted =
+          std::min(kMaxEndogenousLevel, ledger.TotalShare());
+      ShareEstimate admitted_est =
+          CheapestShareAt(*models_, limit, level_if_admitted, interval);
+      double candidate_share = admitted_est.feasible ? admitted_est.share
+                                                     : alone.share;
+      bool keeps_feasible = admitted_est.feasible;
+      for (size_t i = 0; keeps_feasible && i < sessions.size(); ++i) {
+        double inflated = std::min(kMaxEndogenousLevel,
+                                   ledger.LevelFor(i) + candidate_share);
+        keeps_feasible = sessions[i]->FeasibleAt(inflated);
+      }
+      AdmissionRequest request;
+      request.candidate_share = candidate_share;
+      request.total_share = ledger.TotalShare();
+      request.active_streams = sessions.size();
+      request.queued_streams = still_pending.size();
+      request.keeps_existing_feasible = keeps_feasible;
+      request.feasible_alone = alone.feasible;
+      request.rounds_queued = pending.rounds_queued;
+      AdmissionVerdict verdict = admission.Evaluate(request);
+      ServeEvent event;
+      event.stream_id = pending.request.stream_id;
+      event.round = round;
+      switch (verdict) {
+        case AdmissionVerdict::kAdmit: {
+          auto session = std::make_unique<StreamSession>(
+              models_, config_.scheduler, pending.request, &switching,
+              config_.service_salt);
+          size_t index = ledger.AddStream(candidate_share);
+          assert(index == sessions.size());
+          (void)index;
+          sessions.push_back(std::move(session));
+          session_outcome.push_back(pending.outcome);
+          outcome.admit_round = round;
+          outcome.rounds_queued = pending.rounds_queued;
+          ++result.admitted;
+          event.kind = ServeEvent::Kind::kAdmit;
+          emit(event);
+          break;
+        }
+        case AdmissionVerdict::kReject: {
+          outcome.rejected = true;
+          outcome.rounds_queued = pending.rounds_queued;
+          ++result.rejected;
+          event.kind = ServeEvent::Kind::kReject;
+          emit(event);
+          break;
+        }
+        case AdmissionVerdict::kQueue: {
+          blocked = true;
+          if (!pending.queue_event_emitted) {
+            pending.queue_event_emitted = true;
+            event.kind = ServeEvent::Kind::kQueue;
+            emit(event);
+          }
+          ++pending.rounds_queued;
+          still_pending.push_back(pending);
+          break;
+        }
+      }
+    }
+    queue = std::move(still_pending);
+    result.peak_queue = std::max(result.peak_queue, queue.size());
+    result.peak_concurrency =
+        std::max(result.peak_concurrency, sessions.size());
+    if (sessions.empty()) {
+      ++round;
+      continue;
+    }
+    // 3. Freeze the contention snapshot (previous round's posted shares) and
+    // collect demands; the allocator splits the round's budget.
+    size_t active = sessions.size();
+    std::vector<double> levels(active);
+    std::vector<StreamDemand> demands(active);
+    double frame_interval = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < active; ++i) {
+      levels[i] = ledger.LevelFor(i);
+      demands[i].slo_ms = sessions[i]->request().slo_ms;
+      demands[i].slo_class = sessions[i]->request().slo_class;
+      demands[i].menu = sessions[i]->Menu(levels[i]);
+      frame_interval = std::min(frame_interval, sessions[i]->FrameIntervalMs());
+    }
+    std::vector<double> budgets =
+        AllocateBudgets(allocator, frame_interval, demands);
+    // 4. Parallel step: sessions touch only their own state; the coupling is
+    // entirely in (levels, budgets), both frozen above.
+    std::vector<GofReport> reports(active);
+    ThreadPool::Shared().ParallelFor(
+        active,
+        [&](size_t i) { reports[i] = sessions[i]->StepGof(levels[i], budgets[i]); },
+        ResolveThreadCount(config_.threads));
+    // 5. Sequential merge in stream order: post shares, emit events, depart.
+    for (size_t i = 0; i < active; ++i) {
+      ledger.SetShare(i, reports[i].gpu_share);
+      ServeEvent event;
+      event.kind = ServeEvent::Kind::kGof;
+      event.stream_id = sessions[i]->request().stream_id;
+      event.round = round;
+      event.gof = reports[i];
+      event.level = levels[i];
+      event.budget_ms = budgets[i];
+      emit(event);
+    }
+    for (size_t i = active; i-- > 0;) {
+      if (!sessions[i]->done()) {
+        continue;
+      }
+      StreamOutcome& outcome = result.streams[session_outcome[i]];
+      const StreamSession& session = *sessions[i];
+      outcome.depart_round = round;
+      outcome.map = session.eval().MeanAveragePrecision();
+      outcome.frames = static_cast<size_t>(session.frames_emitted());
+      outcome.gofs = static_cast<int>(session.gof_frame_ms().size());
+      outcome.deadline_misses = session.deadline_misses();
+      outcome.switch_count = session.switch_count();
+      outcome.forced_gofs = session.forced_gofs();
+      outcome.infeasible_gofs = session.infeasible_gofs();
+      outcome.gof_frame_ms = session.gof_frame_ms();
+      ServeEvent event;
+      event.kind = ServeEvent::Kind::kDepart;
+      event.stream_id = session.request().stream_id;
+      event.round = round;
+      emit(event);
+      ledger.RemoveStream(i);
+      sessions.erase(sessions.begin() + static_cast<long>(i));
+      session_outcome.erase(session_outcome.begin() + static_cast<long>(i));
+    }
+    ++round;
+  }
+  result.rounds = round;
+
+  // Aggregates over served streams; outcomes reported in stream_id order.
+  std::stable_sort(result.streams.begin(), result.streams.end(),
+                   [](const StreamOutcome& a, const StreamOutcome& b) {
+                     return a.stream_id < b.stream_id;
+                   });
+  size_t served = 0;
+  double accuracy_sum = 0.0;
+  for (const StreamOutcome& outcome : result.streams) {
+    if (outcome.admit_round < 0) {
+      continue;
+    }
+    ++served;
+    accuracy_sum += outcome.map;
+    result.total_misses += outcome.deadline_misses;
+    result.total_frames += outcome.frames;
+    size_t cls = static_cast<size_t>(outcome.slo_class);
+    result.misses_by_class[cls] += outcome.deadline_misses;
+    result.gofs_by_class[cls] += outcome.gofs;
+    ++result.streams_by_class[cls];
+  }
+  result.mean_accuracy =
+      served > 0 ? accuracy_sum / static_cast<double>(served) : 0.0;
+  return result;
+}
+
+}  // namespace litereconfig

@@ -1,0 +1,241 @@
+#include "src/serve/stream_session.h"
+
+#include <algorithm>
+
+#include "src/det/detector.h"
+#include "src/features/light.h"
+#include "src/mbek/kernel.h"
+#include "src/sched/cost_table.h"
+
+namespace litereconfig {
+
+namespace {
+
+// Same tail threshold / fallback object count as the single-tenant protocol
+// (src/pipeline/litereconfig_protocol.cc): the serving loop degrades the same
+// way, it just gets its contention from the ledger instead of a generator.
+constexpr int kTailFrames = 12;
+constexpr int kFallbackObjectCount = 3;
+
+TrackerConfig CoastTracker(const Branch& branch) {
+  return branch.has_tracker ? branch.tracker
+                            : TrackerConfig{TrackerType::kMedianFlow, 4};
+}
+
+}  // namespace
+
+StreamSession::StreamSession(const TrainedModels* models,
+                             SchedulerConfig config,
+                             const StreamRequest& request,
+                             const SwitchingCostModel* switching,
+                             uint64_t service_salt)
+    : models_(models),
+      scheduler_(models, config),
+      request_(request),
+      video_(SyntheticVideo::Generate(request.video)),
+      switching_(switching),
+      platform_(models->device, 0.0),
+      rng_(HashKeys({request.video.seed, service_salt, 0x5e55ull})) {
+  // Serving mode from the start: the co-located streams are the contention;
+  // any simulated contention write from here on is dropped, not stacked.
+  platform_.SetEndogenousContention(0.0);
+}
+
+double StreamSession::SloLimit() const {
+  return request_.slo_ms * scheduler_.config().slo_margin;
+}
+
+double StreamSession::AnalyticGpuCal(double level) {
+  return ContentionGenerator(level).GpuInflation();
+}
+
+bool StreamSession::FeasibleAt(double level) const {
+  const BranchSpace& space = *models_->space;
+  LatencyModel probe(models_->device, level);
+  double limit = SloLimit();
+  for (size_t b = 0; b < space.size(); ++b) {
+    if (probe.BranchFrameMs(space.at(b), kFallbackObjectCount) <= limit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<BranchOption> StreamSession::Menu(double level) const {
+  DecisionContext ctx;
+  ctx.video = &video_;
+  ctx.frame = t_;
+  ctx.anchor_detections = &anchor_;
+  ctx.current_branch = current_;
+  ctx.slo_ms = request_.slo_ms;
+  ctx.frames_remaining = video_.frame_count() - t_;
+  ctx.gpu_cal = AnalyticGpuCal(level);
+  std::vector<double> light = ComputeLightFeatures(
+      video_.spec().width, video_.spec().height, anchor_);
+  return BuildBranchMenu(*models_, scheduler_.config(), ctx, light);
+}
+
+void StreamSession::EmitFrames(std::vector<DetectionList> frames) {
+  if (!frames.empty()) {
+    last_frame_ = frames.back();
+  }
+  for (DetectionList& frame : frames) {
+    eval_.AddFrame(video_.frame(t_).VisibleGroundTruth(), frame);
+    ++t_;
+  }
+}
+
+GofReport StreamSession::StepGof(double level, double budget_ms) {
+  GofReport report;
+  if (done()) {
+    report.done = true;
+    return report;
+  }
+  platform_.SetEndogenousContention(level);
+  double gpu_cal = AnalyticGpuCal(level);
+  const BranchSpace& space = *models_->space;
+
+  if (!preheated_) {
+    // Preheat probe (paper footnote 6): one cheap detector invocation on the
+    // first frame, not charged to latency, seeding the object statistics the
+    // light features start from. Calibration needs no measurement here — in
+    // serving mode the contention level is known exactly from the ledger.
+    DetectorConfig probe{320, 10};
+    anchor_ = DetectorSim::Detect(video_, 0, probe, DetectorQuality{},
+                                  HashKeys({request_.video.seed, 0x94e47ull}));
+    preheated_ = true;
+  }
+
+  SchedulerDecision decision;
+  if (forced_) {
+    // Per-class watchdog fallback: ride the cheapest branch (priced at this
+    // round's level) until a clean GoF clears the streak.
+    decision.branch_index = CheapestBranchIndex(space.size(), [&](size_t b) {
+      return platform_.BranchFrameMs(space.at(b), kFallbackObjectCount);
+    });
+    report.forced = true;
+    ++forced_gofs_;
+  } else {
+    DecisionContext ctx;
+    ctx.video = &video_;
+    ctx.frame = t_;
+    ctx.anchor_detections = &anchor_;
+    ctx.current_branch = current_;
+    ctx.slo_ms = request_.slo_ms;
+    ctx.frames_remaining = video_.frame_count() - t_;
+    ctx.gpu_cal = gpu_cal;
+    ctx.budget_ms = budget_ms;
+    decision = scheduler_.Decide(ctx);
+  }
+  report.frame = t_;
+  report.infeasible = decision.infeasible;
+  if (decision.infeasible) {
+    ++infeasible_gofs_;
+  }
+
+  if (decision.infeasible && current_.has_value() &&
+      video_.frame_count() - t_ <= kTailFrames && t_ > 0) {
+    // Tail continuation: too few frames remain to amortize another detector
+    // pass; coast on the tracker from the last emitted anchor.
+    const Branch& cur_branch = space.at(*current_);
+    TrackerConfig tail_tracker = CoastTracker(cur_branch);
+    std::vector<DetectionList> tail = ExecutionKernel::TrackOnly(
+        video_, t_, video_.frame_count() - t_, tail_tracker, last_frame_,
+        request_.video.seed);
+    if (tail.empty()) {
+      report.done = true;
+      t_ = video_.frame_count();
+      return report;
+    }
+    int tracked = CountConfident(last_frame_);
+    double track_total = 0.0;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      track_total += platform_.Sample(
+          platform_.TrackerMs(tail_tracker, tracked), rng_);
+    }
+    double len = static_cast<double>(tail.size());
+    report.branch = *current_;
+    report.gof_length = static_cast<int>(len);
+    report.frame_ms = track_total / len;
+    report.tail = true;
+    report.gpu_share = 0.0;  // no detector invocation: the GPU is free
+    report.missed = report.frame_ms > request_.slo_ms;
+    anchor_ = tail.back();
+    EmitFrames(std::move(tail));
+  } else {
+    const Branch& branch = space.at(decision.branch_index);
+    double switch_sample = 0.0;
+    if (current_.has_value() && *current_ != decision.branch_index) {
+      switch_sample = switching_->OnlineCostMs(space.at(*current_), branch,
+                                               switch_count_, rng_);
+      ++switch_count_;
+      report.switched = true;
+    }
+    int length = std::min(branch.gof, video_.frame_count() - t_);
+    length = std::max(length, 1);
+    DetectionList anchor_dets =
+        ExecutionKernel::DetectAnchor(video_, t_, branch, request_.video.seed);
+    double det_sample =
+        platform_.Sample(platform_.DetectorMs(branch.detector), rng_);
+    double track_total = 0.0;
+    std::vector<DetectionList> tracked_frames;
+    if (branch.has_tracker && length > 1) {
+      tracked_frames = ExecutionKernel::TrackRemainder(
+          video_, t_, branch, anchor_dets, request_.video.seed);
+      int tracked = CountConfident(anchor_dets);
+      for (size_t i = 0; i < tracked_frames.size(); ++i) {
+        track_total += platform_.Sample(
+            platform_.TrackerMs(branch.tracker, tracked), rng_);
+      }
+    }
+    double len = static_cast<double>(1 + tracked_frames.size());
+    double gof_total = det_sample + track_total + switch_sample;
+    if (scheduler_.config().charge_feature_overhead) {
+      gof_total += decision.scheduler_cost_ms;
+    }
+    report.branch = decision.branch_index;
+    report.gof_length = static_cast<int>(len);
+    report.frame_ms = gof_total / len;
+    report.scheduler_ms = decision.scheduler_cost_ms;
+    report.switch_ms = switch_sample;
+    report.predicted_accuracy = decision.predicted_accuracy;
+    report.predicted_frame_ms = decision.predicted_frame_ms;
+    report.missed = report.frame_ms > request_.slo_ms;
+    // Posted occupancy: the profiled (zero-contention) detector time per
+    // capture interval. Inflated time is waiting, not occupancy, so the share
+    // uses the uncalibrated profile.
+    report.gpu_share = std::clamp(
+        models_->latency.DetectorMs(decision.branch_index) /
+            (len * FrameIntervalMs()),
+        0.0, 1.0);
+    anchor_ = anchor_dets;
+    std::vector<DetectionList> emitted;
+    emitted.reserve(tracked_frames.size() + 1);
+    emitted.push_back(std::move(anchor_dets));
+    for (DetectionList& frame : tracked_frames) {
+      emitted.push_back(std::move(frame));
+    }
+    EmitFrames(std::move(emitted));
+    current_ = decision.branch_index;
+  }
+
+  gof_frame_ms_.push_back(report.frame_ms);
+  if (report.missed) {
+    ++deadline_misses_;
+    ++miss_streak_;
+    int tolerance = SloClassMissTolerance(request_.slo_class);
+    if (!forced_ && miss_streak_ >= tolerance) {
+      forced_ = true;
+    }
+  } else {
+    miss_streak_ = 0;
+    forced_ = false;
+  }
+  report.done = done();
+  if (report.done) {
+    report.gpu_share = 0.0;
+  }
+  return report;
+}
+
+}  // namespace litereconfig

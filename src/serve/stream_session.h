@@ -1,0 +1,132 @@
+// One live stream inside the multi-tenant service: its video, its own
+// LiteReconfig scheduler, and the session-local runtime state (anchor
+// detections, current branch, RNG substream, accuracy accumulation).
+//
+// The service advances every admitted session one GoF per planning round.
+// Coupling to the co-located streams enters exclusively through StepGof's
+// arguments — the endogenous contention level frozen from the previous
+// round's posted GPU shares, and the allocator-granted budget — so sessions
+// can step concurrently (ParallelFor across streams) and the run stays
+// bit-identical at any thread count.
+#ifndef SRC_SERVE_STREAM_SESSION_H_
+#define SRC_SERVE_STREAM_SESSION_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/platform/latency.h"
+#include "src/platform/switching.h"
+#include "src/sched/branch_menu.h"
+#include "src/sched/scheduler.h"
+#include "src/serve/arrivals.h"
+#include "src/serve/slo_class.h"
+#include "src/util/rng.h"
+#include "src/video/synthetic_video.h"
+#include "src/vision/metrics.h"
+
+namespace litereconfig {
+
+// What one session did in one planning round.
+struct GofReport {
+  // The stream produced no frames this round because it already finished.
+  bool done = false;
+  // Anchor frame index of the GoF.
+  int frame = 0;
+  size_t branch = 0;
+  int gof_length = 0;
+  // GoF-amortized per-frame latency (the paper's time metric).
+  double frame_ms = 0.0;
+  double scheduler_ms = 0.0;
+  double switch_ms = 0.0;
+  double predicted_accuracy = 0.0;
+  double predicted_frame_ms = 0.0;
+  bool switched = false;
+  bool infeasible = false;
+  bool missed = false;
+  // The per-class watchdog had the session pinned to the cheapest branch.
+  bool forced = false;
+  // Tail continuation: tracker-only GoF, no detector invocation.
+  bool tail = false;
+  // GPU share the chosen branch occupies (detector duty cycle at zero
+  // contention), posted to the ledger for the next round's level snapshot.
+  double gpu_share = 0.0;
+};
+
+class StreamSession {
+ public:
+  StreamSession(const TrainedModels* models, SchedulerConfig config,
+                const StreamRequest& request,
+                const SwitchingCostModel* switching, uint64_t service_salt);
+
+  const StreamRequest& request() const { return request_; }
+  const SyntheticVideo& video() const { return video_; }
+  bool done() const { return t_ >= video_.frame_count(); }
+  int frames_emitted() const { return t_; }
+
+  // The stream's capture interval (ms between frames).
+  double FrameIntervalMs() const { return 1000.0 / video_.spec().fps; }
+
+  // Whether any branch fits the margin-adjusted SLO at the given endogenous
+  // contention level (content-agnostic pricing). Admission control uses this
+  // to check that a candidate leaves every existing stream servable.
+  bool FeasibleAt(double level) const;
+
+  // The stream's Pareto (cost, accuracy) menu at the given level — the demand
+  // curve the global allocator trades along. Consumes no RNG.
+  std::vector<BranchOption> Menu(double level) const;
+
+  // Advances the stream by one GoF under the frozen contention level and the
+  // allocator-granted budget. Touches only session-local state.
+  GofReport StepGof(double level, double budget_ms);
+
+  // Accuracy/latency accumulated so far (read after the stream departs).
+  const ApEvaluator& eval() const { return eval_; }
+  const std::vector<double>& gof_frame_ms() const { return gof_frame_ms_; }
+  int deadline_misses() const { return deadline_misses_; }
+  int switch_count() const { return switch_count_; }
+  int forced_gofs() const { return forced_gofs_; }
+  int infeasible_gofs() const { return infeasible_gofs_; }
+
+ private:
+  // Margin-adjusted per-frame latency limit (SLO only; budgets are per-round).
+  double SloLimit() const;
+  // Analytic GPU calibration at a level: models are profiled at zero
+  // contention on this same device, so observed/profiled is exactly the
+  // contention inflation — no measurement loop needed in serving mode.
+  static double AnalyticGpuCal(double level);
+  // Emits `frames` into the stream output and the AP accumulation.
+  void EmitFrames(std::vector<DetectionList> frames);
+
+  const TrainedModels* models_;
+  LiteReconfigScheduler scheduler_;
+  StreamRequest request_;
+  SyntheticVideo video_;
+  const SwitchingCostModel* switching_;
+  // Session platform copy: endogenous contention engaged at construction, so
+  // simulated contention writes cannot double-count (see LatencyModel).
+  LatencyModel platform_;
+  Pcg32 rng_;
+
+  DetectionList anchor_;
+  // The last emitted frame's detections (tail continuations track from here,
+  // matching the single-tenant protocol's coast semantics).
+  DetectionList last_frame_;
+  std::optional<size_t> current_;
+  int t_ = 0;
+  bool preheated_ = false;
+  int switch_count_ = 0;
+  // Per-class watchdog: consecutive deadline misses; at the class tolerance
+  // the session is forced onto the cheapest branch until a clean GoF.
+  int miss_streak_ = 0;
+  bool forced_ = false;
+
+  ApEvaluator eval_;
+  std::vector<double> gof_frame_ms_;
+  int deadline_misses_ = 0;
+  int forced_gofs_ = 0;
+  int infeasible_gofs_ = 0;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_SERVE_STREAM_SESSION_H_
