@@ -22,6 +22,12 @@ std::string_view ServeEventName(ServeEvent::Kind kind) {
       return "depart";
     case ServeEvent::Kind::kGof:
       return "decision";
+    case ServeEvent::Kind::kFault:
+      return "fault";
+    case ServeEvent::Kind::kRenegotiate:
+      return "renegotiate";
+    case ServeEvent::Kind::kEvict:
+      return "evict";
   }
   return "unknown";
 }
@@ -32,6 +38,18 @@ DecisionRecord ToRecord(const TrainedModels& models, const ServeEvent& event) {
   // Streams play the role videos play in the single-tenant trace: records are
   // buffered and grouped per stream id.
   record.video_seed = event.stream_id;
+  if (event.kind == ServeEvent::Kind::kFault) {
+    // The fault kind rides in branch_id, like the single-tenant fault trace.
+    record.frame = event.fault_frame;
+    record.branch_id = std::string(FailureKindName(event.fault));
+    return record;
+  }
+  if (event.kind == ServeEvent::Kind::kRenegotiate) {
+    // The class now in effect rides in branch_id.
+    record.frame = event.round;
+    record.branch_id = std::string(SloClassName(event.new_class));
+    return record;
+  }
   if (event.kind != ServeEvent::Kind::kGof) {
     record.frame = event.round;
     return record;
@@ -131,7 +149,29 @@ std::string ServeEvalJson(const ServeEval& eval) {
     os << "\"" << SloClassName(static_cast<SloClass>(c))
        << "\":" << r.gofs_by_class[static_cast<size_t>(c)];
   }
-  os << "},\"streams\":[";
+  os << "}";
+  // The whole fault block is emitted only when the run injected faults, so a
+  // no-fault run's JSON is byte-identical to a build without the fault path.
+  if (r.faults_active) {
+    os << ",\"faults\":{\"injected\":" << r.faults_injected
+       << ",\"absorbed\":" << r.faults_absorbed
+       << ",\"degraded_frames\":" << r.degraded_frames
+       << ",\"recovery_events\":" << r.recovery_events
+       << ",\"recovery_gofs\":" << r.recovery_gofs
+       << ",\"renegotiations\":" << r.renegotiations
+       << ",\"evictions\":" << r.evictions
+       << ",\"coasted_rounds\":" << r.coasted_rounds
+       << ",\"evictions_by_class\":{";
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      if (c > 0) {
+        os << ",";
+      }
+      os << "\"" << SloClassName(static_cast<SloClass>(c))
+         << "\":" << r.evictions_by_class[static_cast<size_t>(c)];
+    }
+    os << "}}";
+  }
+  os << ",\"streams\":[";
   for (size_t i = 0; i < r.streams.size(); ++i) {
     const StreamOutcome& s = r.streams[i];
     if (i > 0) {
@@ -153,7 +193,18 @@ std::string ServeEvalJson(const ServeEval& eval) {
        << ",\"frames\":" << s.frames
        << ",\"switches\":" << s.switch_count
        << ",\"forced\":" << s.forced_gofs
-       << ",\"infeasible\":" << s.infeasible_gofs << "}";
+       << ",\"infeasible\":" << s.infeasible_gofs;
+    if (r.faults_active) {
+      os << ",\"evicted\":" << (s.evicted ? "true" : "false")
+         << ",\"renegotiations\":" << s.renegotiations
+         << ",\"coasted_rounds\":" << s.coasted_rounds
+         << ",\"faults_injected\":" << s.robustness.faults_injected
+         << ",\"faults_absorbed\":" << s.robustness.faults_absorbed
+         << ",\"degraded_frames\":" << s.robustness.degraded_frames
+         << ",\"recovery_events\":" << s.robustness.recovery_events
+         << ",\"recovery_gofs\":" << s.robustness.recovery_gofs;
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();

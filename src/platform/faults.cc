@@ -41,6 +41,8 @@ std::string_view FailureKindName(FailureKind kind) {
       return "latency_outlier";
     case FailureKind::kThermalRamp:
       return "thermal_ramp";
+    case FailureKind::kEvicted:
+      return "evicted";
   }
   return "unknown";
 }
@@ -177,6 +179,32 @@ const std::vector<std::string_view>& FaultSpec::PresetNames() {
                                         "severe",   "ramp", "mild_xavier",
                                         "severe_xavier"};
   return *names;
+}
+
+FaultSpec FaultSpec::IntervalsOnly() const {
+  FaultSpec spec = *this;
+  spec.outlier_prob = 0.0;
+  spec.detector_failure_prob = 0.0;
+  spec.frame_drop_prob = 0.0;
+  return spec;
+}
+
+FaultSpec FaultSpec::WithoutIntervals() const {
+  FaultSpec spec = *this;
+  spec.bursts_per_100_frames = 0.0;
+  spec.ramps_per_100_frames = 0.0;
+  return spec;
+}
+
+std::string FaultPresetList() {
+  std::string list;
+  for (std::string_view preset : FaultSpec::PresetNames()) {
+    if (!list.empty()) {
+      list += " | ";
+    }
+    list += preset;
+  }
+  return list;
 }
 
 FaultPlan::FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count,
@@ -324,6 +352,31 @@ void FaultRuntime::RecordFault(FailureKind kind, int frame) {
   report.kind = kind;
   report.frame = frame;
   report.recovered = true;
+  acc_.failures.push_back(report);
+}
+
+void FaultRuntime::NoteServiceBurst(int burst_index, int frame) {
+  if (burst_index >= 0 && burst_index != last_burst_recorded_) {
+    last_burst_recorded_ = burst_index;
+    RecordFault(FailureKind::kContentionBurst, frame);
+  }
+}
+
+void FaultRuntime::NoteServiceRamp(int ramp_index, int frame) {
+  if (ramp_index >= 0 && ramp_index != last_ramp_recorded_) {
+    last_ramp_recorded_ = ramp_index;
+    RecordFault(FailureKind::kThermalRamp, frame);
+  }
+}
+
+void FaultRuntime::RecordServiceFault(FailureKind kind, int frame,
+                                      bool recovered) {
+  ++acc_.faults_injected;
+  ++gof_faults_;
+  FailureReport report;
+  report.kind = kind;
+  report.frame = frame;
+  report.recovered = recovered;
   acc_.failures.push_back(report);
 }
 

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -46,6 +47,8 @@ enum class FailureKind {
   kContentionBurst = 3,  // a co-located workload spiked GPU contention
   kLatencyOutlier = 4,   // one kernel invocation ran far over its mean
   kThermalRamp = 5,      // thermal throttling / DVFS drift slowed all kernels
+  kEvicted = 6,          // the serving control plane shed the stream under
+                         // sustained overload (multi-tenant only)
 };
 
 std::string_view FailureKindName(FailureKind kind);
@@ -104,7 +107,17 @@ struct FaultSpec {
   static std::optional<FaultSpec> FromName(std::string_view name);
   // The valid preset names, for help/error text.
   static const std::vector<std::string_view>& PresetNames();
+
+  // Splits a schedule into its two halves for the multi-tenant service: the
+  // device-wide intervals (bursts, thermal ramps) become one shared
+  // ServiceFaultPlan, while the stateless point faults (outliers, detector
+  // failures, frame drops) stay per-stream.
+  FaultSpec IntervalsOnly() const;
+  FaultSpec WithoutIntervals() const;
 };
+
+// " | "-joined PresetNames(), the help/error text both CLI runners share.
+std::string FaultPresetList();
 
 // The deterministic per-video fault schedule. Bursts and thermal ramps are
 // materialized as intervals at construction; everything else is a stateless
@@ -214,10 +227,27 @@ class FaultRuntime {
                uint64_t fault_seed, bool degrade, double base_contention,
                double frame_interval_ms = kDefaultFrameIntervalMs);
 
-  bool active() const { return plan_.active(); }
+  bool active() const { return plan_.active() || service_active_; }
   bool degrade() const { return degrade_; }
   const FaultPlan& plan() const { return plan_; }
   double frame_interval_ms() const { return frame_interval_ms_; }
+
+  // Multi-tenant mode: arms the accounting even when the per-stream plan is
+  // inactive (device-wide intervals live in the service's shared
+  // ServiceFaultPlan, not in this runtime's plan). An inactive plan answers
+  // every point query neutrally, so engaging is safe regardless.
+  void EngageServiceFaults() { service_active_ = true; }
+
+  // Records entry into a device-wide interval on behalf of the shared
+  // ServiceFaultPlan. Deduplicated per interval index, exactly like the
+  // per-stream plan's intervals in BeginGof; call after BeginGof so the fault
+  // counts toward the current GoF's absorption accounting.
+  void NoteServiceBurst(int burst_index, int frame);
+  void NoteServiceRamp(int ramp_index, int frame);
+
+  // Records a service-originated failure (e.g. FailureKind::kEvicted) into
+  // this stream's report stream.
+  void RecordServiceFault(FailureKind kind, int frame, bool recovered);
 
   // Starts the GoF anchored at `frame`: records a newly-entered contention
   // burst or thermal ramp (once per interval) and resets the per-GoF fault
@@ -277,6 +307,7 @@ class FaultRuntime {
 
   FaultPlan plan_;
   bool degrade_ = true;
+  bool service_active_ = false;
   double base_contention_ = 0.0;
   double frame_interval_ms_ = 0.0;
   FaultAccounting acc_;

@@ -113,6 +113,18 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
   allocator.slo_margin = config_.scheduler.slo_margin;
   double slo_margin = config_.scheduler.slo_margin;
 
+  // Device-wide fault schedule: one plan for the whole service, frozen into
+  // the round snapshot so every stream sees the same faulted device state.
+  bool faults_active = config_.faults.spec.Any();
+  result.faults_active = faults_active;
+  bool degrade = faults_active && config_.faults.degrade;
+  ServiceFaultPlan device_plan;
+  if (faults_active) {
+    device_plan = ServiceFaultPlan(config_.faults.spec,
+                                   config_.faults.fault_seed,
+                                   config_.max_rounds);
+  }
+
   GpuShareLedger ledger;
   std::vector<std::unique_ptr<StreamSession>> sessions;
   std::vector<size_t> session_outcome;  // aligned with `sessions`
@@ -121,6 +133,23 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
     if (config_.observer) {
       config_.observer(event);
     }
+  };
+  // Copies a live session's stats into its outcome (departure and eviction).
+  auto finalize = [&](size_t i, int round) {
+    StreamOutcome& outcome = result.streams[session_outcome[i]];
+    const StreamSession& session = *sessions[i];
+    outcome.depart_round = round;
+    outcome.map = session.eval().MeanAveragePrecision();
+    outcome.frames = static_cast<size_t>(session.frames_emitted());
+    outcome.gofs = static_cast<int>(session.gof_frame_ms().size());
+    outcome.deadline_misses = session.deadline_misses();
+    outcome.switch_count = session.switch_count();
+    outcome.forced_gofs = session.forced_gofs();
+    outcome.infeasible_gofs = session.infeasible_gofs();
+    outcome.gof_frame_ms = session.gof_frame_ms();
+    outcome.renegotiations = session.renegotiations();
+    outcome.coasted_rounds = session.coasted_rounds();
+    outcome.robustness = session.fault_accounting();
   };
 
   size_t next_arrival = 0;
@@ -137,6 +166,13 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       queue.clear();
       break;
     }
+    // Device-wide fault snapshot for the round, frozen alongside the
+    // contention snapshot below: every admission probe, menu, budget, and
+    // session step this round sees the same (burst, thermal) state.
+    double burst_level = faults_active ? device_plan.BurstLevelAt(round) : 0.0;
+    double thermal = faults_active ? device_plan.ThermalScaleAt(round) : 1.0;
+    int burst_index = faults_active ? device_plan.BurstIndexAt(round) : -1;
+    int ramp_index = faults_active ? device_plan.RampIndexAt(round) : -1;
     // 1. Arrivals join the pending queue.
     while (next_arrival < requests.size() &&
            requests[order[next_arrival]].arrival_round <= round) {
@@ -162,16 +198,19 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       double limit = pending.request.slo_ms * slo_margin;
       double interval = 1000.0 / pending.request.video.fps;
       ShareEstimate alone = CheapestShareAt(*models_, limit, 0.0, interval);
-      double level_if_admitted =
-          std::min(kMaxEndogenousLevel, ledger.TotalShare());
+      // Admission prices the candidate at the faulted level: a burst in
+      // progress tightens the door exactly when the device has less to give.
+      double level_if_admitted = std::min(
+          kMaxEndogenousLevel, ledger.TotalShare() + burst_level);
       ShareEstimate admitted_est =
           CheapestShareAt(*models_, limit, level_if_admitted, interval);
       double candidate_share = admitted_est.feasible ? admitted_est.share
                                                      : alone.share;
       bool keeps_feasible = admitted_est.feasible;
       for (size_t i = 0; keeps_feasible && i < sessions.size(); ++i) {
-        double inflated = std::min(kMaxEndogenousLevel,
-                                   ledger.LevelFor(i) + candidate_share);
+        double inflated = std::min(
+            kMaxEndogenousLevel,
+            ledger.LevelFor(i) + candidate_share + burst_level);
         keeps_feasible = sessions[i]->FeasibleAt(inflated);
       }
       AdmissionRequest request;
@@ -190,7 +229,8 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
         case AdmissionVerdict::kAdmit: {
           auto session = std::make_unique<StreamSession>(
               models_, config_.scheduler, pending.request, &switching,
-              config_.service_salt);
+              config_.service_salt,
+              faults_active ? &config_.faults : nullptr);
           size_t index = ledger.AddStream(candidate_share);
           assert(index == sessions.size());
           (void)index;
@@ -232,31 +272,212 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       ++round;
       continue;
     }
-    // 3. Freeze the contention snapshot (previous round's posted shares) and
-    // collect demands; the allocator splits the round's budget.
+    // 3. Freeze the contention snapshot (previous round's posted shares plus
+    // the device-wide burst) and collect demands; the allocator splits the
+    // round's budget.
     size_t active = sessions.size();
     std::vector<double> levels(active);
     std::vector<StreamDemand> demands(active);
     double frame_interval = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < active; ++i) {
-      levels[i] = ledger.LevelFor(i);
+      levels[i] =
+          std::min(kMaxEndogenousLevel, ledger.LevelFor(i) + burst_level);
       demands[i].slo_ms = sessions[i]->request().slo_ms;
-      demands[i].slo_class = sessions[i]->request().slo_class;
-      demands[i].menu = sessions[i]->Menu(levels[i]);
+      demands[i].slo_class = sessions[i]->effective_class();
+      demands[i].menu = sessions[i]->Menu(levels[i], thermal);
       frame_interval = std::min(frame_interval, sessions[i]->FrameIntervalMs());
     }
-    std::vector<double> budgets =
-        AllocateBudgets(allocator, frame_interval, demands);
+    std::vector<bool> coast(active, false);
+    if (degrade) {
+      // 3b. Pressure ladder. The fit check asks whether every stream's
+      // cheapest affordable round — coasted streams at their tracker-only
+      // cost, the rest at the cheapest menu option — fits the round budget
+      // under the faulted device state. When it does not, escalate
+      // deterministically: coast best-effort streams tracker-only, then
+      // renegotiate standard streams down a class (restored when pressure
+      // clears), then evict in strict reverse-priority/arrival order.
+      double capacity = frame_interval * allocator.capacity_scale;
+      auto stream_cost = [&](size_t i) {
+        if (coast[i] && sessions[i]->CanCoast()) {
+          return sessions[i]->CoastFrameMs(thermal);
+        }
+        if (!demands[i].menu.empty()) {
+          return demands[i].menu.front().frame_ms;
+        }
+        // Nothing SLO-feasible this round: the stream still runs its
+        // cheapest branch, so the fit check must still charge for it.
+        return sessions[i]->CheapestFrameMs(levels[i], thermal);
+      };
+      auto total_cost = [&]() {
+        double total = 0.0;
+        for (size_t i = 0; i < active; ++i) {
+          total += stream_cost(i);
+        }
+        return total;
+      };
+      // Pressure cleared: the nominal round (no coasts) fits again, so every
+      // renegotiated stream gets its requested class back.
+      if (total_cost() <= capacity) {
+        for (size_t i = 0; i < active; ++i) {
+          StreamSession& session = *sessions[i];
+          if (session.effective_class() != session.request().slo_class) {
+            session.RestoreClass();
+            demands[i].slo_class = session.effective_class();
+            ServeEvent event;
+            event.kind = ServeEvent::Kind::kRenegotiate;
+            event.stream_id = session.request().stream_id;
+            event.round = round;
+            event.new_class = session.effective_class();
+            emit(event);
+          }
+        }
+      }
+      // Latest arrival (ties to the highest stream id) yields first: the
+      // newest stream of the lowest surviving class absorbs the pressure.
+      auto latest = [&](SloClass cls, bool require_coastable,
+                        bool skip_coasted) {
+        size_t pick = active;
+        for (size_t i = 0; i < active; ++i) {
+          if (sessions[i]->effective_class() != cls) {
+            continue;
+          }
+          if (require_coastable && !sessions[i]->CanCoast()) {
+            continue;
+          }
+          if (skip_coasted && coast[i]) {
+            continue;
+          }
+          if (pick == active ||
+              sessions[i]->request().arrival_round >
+                  sessions[pick]->request().arrival_round ||
+              (sessions[i]->request().arrival_round ==
+                   sessions[pick]->request().arrival_round &&
+               sessions[i]->request().stream_id >
+                   sessions[pick]->request().stream_id)) {
+            pick = i;
+          }
+        }
+        return pick;
+      };
+      while (active >= 2 && total_cost() > capacity) {
+        // Rung 1: coast a best-effort stream tracker-only for the round.
+        size_t victim = latest(SloClass::kBestEffort, /*require_coastable=*/true,
+                               /*skip_coasted=*/true);
+        if (victim < active) {
+          coast[victim] = true;
+          continue;
+        }
+        // Rung 2: renegotiate a standard stream down one class; it becomes
+        // coastable on the next iteration.
+        victim = latest(SloClass::kStandard, /*require_coastable=*/false,
+                        /*skip_coasted=*/false);
+        if (victim < active) {
+          StreamSession& session = *sessions[victim];
+          session.Renegotiate(SloClass::kBestEffort);
+          demands[victim].slo_class = session.effective_class();
+          ServeEvent event;
+          event.kind = ServeEvent::Kind::kRenegotiate;
+          event.stream_id = session.request().stream_id;
+          event.round = round;
+          event.new_class = session.effective_class();
+          emit(event);
+          continue;
+        }
+        // Rung 3: evict. Reverse priority order — a strict stream is never
+        // shed while any lower class survives.
+        victim = active;
+        for (SloClass cls : {SloClass::kBestEffort, SloClass::kStandard,
+                             SloClass::kStrict}) {
+          victim = latest(cls, /*require_coastable=*/false,
+                          /*skip_coasted=*/false);
+          if (victim < active) {
+            break;
+          }
+        }
+        if (victim >= active) {
+          break;
+        }
+        sessions[victim]->RecordEviction();
+        finalize(victim, round);
+        result.streams[session_outcome[victim]].evicted = true;
+        ServeEvent event;
+        event.kind = ServeEvent::Kind::kEvict;
+        event.stream_id = sessions[victim]->request().stream_id;
+        event.round = round;
+        emit(event);
+        ledger.RemoveStream(victim);
+        long v = static_cast<long>(victim);
+        sessions.erase(sessions.begin() + v);
+        session_outcome.erase(session_outcome.begin() + v);
+        levels.erase(levels.begin() + static_cast<long>(victim));
+        demands.erase(demands.begin() + static_cast<long>(victim));
+        coast.erase(coast.begin() + static_cast<long>(victim));
+        --active;
+      }
+      if (sessions.empty()) {
+        ++round;
+        continue;
+      }
+    }
+    // 3c. Budgets: coasted streams run tracker-only off the top of the round
+    // budget; the allocator splits what remains across the streams that still
+    // invoke their detectors.
+    std::vector<double> budgets(active, 0.0);
+    bool any_coast = false;
+    for (size_t i = 0; i < active; ++i) {
+      any_coast = any_coast || (coast[i] && sessions[i]->CanCoast());
+    }
+    if (!any_coast) {
+      budgets = AllocateBudgets(allocator, frame_interval, demands);
+    } else {
+      double coast_total = 0.0;
+      std::vector<size_t> running;
+      std::vector<StreamDemand> running_demands;
+      for (size_t i = 0; i < active; ++i) {
+        if (coast[i] && sessions[i]->CanCoast()) {
+          coast_total += sessions[i]->CoastFrameMs(thermal);
+        } else {
+          running.push_back(i);
+          running_demands.push_back(demands[i]);
+        }
+      }
+      AllocatorConfig shed = allocator;
+      shed.capacity_scale = std::max(
+          0.0, allocator.capacity_scale - coast_total / frame_interval);
+      std::vector<double> granted =
+          AllocateBudgets(shed, frame_interval, running_demands);
+      for (size_t r = 0; r < running.size(); ++r) {
+        budgets[running[r]] = granted[r];
+      }
+    }
     // 4. Parallel step: sessions touch only their own state; the coupling is
-    // entirely in (levels, budgets), both frozen above.
+    // entirely in the StepConditions, all frozen above.
     std::vector<GofReport> reports(active);
     ThreadPool::Shared().ParallelFor(
         active,
-        [&](size_t i) { reports[i] = sessions[i]->StepGof(levels[i], budgets[i]); },
+        [&](size_t i) {
+          StepConditions conditions;
+          conditions.level = levels[i];
+          conditions.budget_ms = budgets[i];
+          conditions.thermal_scale = thermal;
+          conditions.coast = coast[i];
+          conditions.burst_index = burst_index;
+          conditions.ramp_index = ramp_index;
+          reports[i] = sessions[i]->StepGof(conditions);
+        },
         ResolveThreadCount(config_.threads));
     // 5. Sequential merge in stream order: post shares, emit events, depart.
     for (size_t i = 0; i < active; ++i) {
       ledger.SetShare(i, reports[i].gpu_share);
+      for (const FailureReport& failure : reports[i].faults) {
+        ServeEvent fault_event;
+        fault_event.kind = ServeEvent::Kind::kFault;
+        fault_event.stream_id = sessions[i]->request().stream_id;
+        fault_event.round = round;
+        fault_event.fault = failure.kind;
+        fault_event.fault_frame = failure.frame;
+        emit(fault_event);
+      }
       ServeEvent event;
       event.kind = ServeEvent::Kind::kGof;
       event.stream_id = sessions[i]->request().stream_id;
@@ -270,20 +491,10 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       if (!sessions[i]->done()) {
         continue;
       }
-      StreamOutcome& outcome = result.streams[session_outcome[i]];
-      const StreamSession& session = *sessions[i];
-      outcome.depart_round = round;
-      outcome.map = session.eval().MeanAveragePrecision();
-      outcome.frames = static_cast<size_t>(session.frames_emitted());
-      outcome.gofs = static_cast<int>(session.gof_frame_ms().size());
-      outcome.deadline_misses = session.deadline_misses();
-      outcome.switch_count = session.switch_count();
-      outcome.forced_gofs = session.forced_gofs();
-      outcome.infeasible_gofs = session.infeasible_gofs();
-      outcome.gof_frame_ms = session.gof_frame_ms();
+      finalize(i, round);
       ServeEvent event;
       event.kind = ServeEvent::Kind::kDepart;
-      event.stream_id = session.request().stream_id;
+      event.stream_id = sessions[i]->request().stream_id;
       event.round = round;
       emit(event);
       ledger.RemoveStream(i);
@@ -313,6 +524,19 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
     result.misses_by_class[cls] += outcome.deadline_misses;
     result.gofs_by_class[cls] += outcome.gofs;
     ++result.streams_by_class[cls];
+    if (faults_active) {
+      result.faults_injected += outcome.robustness.faults_injected;
+      result.faults_absorbed += outcome.robustness.faults_absorbed;
+      result.degraded_frames += outcome.robustness.degraded_frames;
+      result.recovery_events += outcome.robustness.recovery_events;
+      result.recovery_gofs += outcome.robustness.recovery_gofs;
+      result.renegotiations += outcome.renegotiations;
+      result.coasted_rounds += outcome.coasted_rounds;
+      if (outcome.evicted) {
+        ++result.evictions;
+        ++result.evictions_by_class[cls];
+      }
+    }
   }
   result.mean_accuracy =
       served > 0 ? accuracy_sum / static_cast<double>(served) : 0.0;

@@ -31,6 +31,7 @@
 #include "src/serve/admission.h"
 #include "src/serve/allocator.h"
 #include "src/serve/arrivals.h"
+#include "src/serve/service_faults.h"
 #include "src/serve/slo_class.h"
 #include "src/serve/stream_session.h"
 
@@ -46,6 +47,9 @@ struct ServeEvent {
     kReject = 2,
     kDepart = 3,
     kGof = 4,
+    kFault = 5,        // a fault was injected into a stream (kind in fault)
+    kRenegotiate = 6,  // SLO class changed (demotion or restore; new_class)
+    kEvict = 7,        // the pressure ladder shed the stream
   };
   Kind kind = Kind::kGof;
   uint64_t stream_id = 0;
@@ -54,12 +58,22 @@ struct ServeEvent {
   GofReport gof;
   double level = 0.0;
   double budget_ms = 0.0;
+  // Fault fields (kind == kFault).
+  FailureKind fault = FailureKind::kOom;
+  int fault_frame = 0;
+  // Renegotiation fields (kind == kRenegotiate): the class now in effect.
+  SloClass new_class = SloClass::kStandard;
 };
 
 struct ServeConfig {
   SchedulerConfig scheduler;
   AdmissionConfig admission;
   AllocatorConfig allocator;
+  // Fault injection: device-wide intervals (bursts, thermal ramps) hit every
+  // stream in the same round snapshot; point faults resolve per stream. With
+  // degrade on, the pressure ladder (coast / renegotiate / evict) engages
+  // when the faulted device cannot carry all admitted streams.
+  ServiceFaultConfig faults;
   // Worker threads for the per-stream fan-out; <= 0 resolves to the process
   // default. Results are identical for every value.
   int threads = 0;
@@ -89,6 +103,11 @@ struct StreamOutcome {
   int forced_gofs = 0;
   int infeasible_gofs = 0;
   std::vector<double> gof_frame_ms;
+  // Robustness (meaningful only when the service runs with faults enabled).
+  bool evicted = false;
+  int renegotiations = 0;
+  int coasted_rounds = 0;
+  FaultAccounting robustness;
 };
 
 struct ServeResult {
@@ -107,6 +126,17 @@ struct ServeResult {
   std::array<int, kNumSloClasses> misses_by_class = {};
   std::array<int, kNumSloClasses> gofs_by_class = {};
   std::array<int, kNumSloClasses> streams_by_class = {};
+  // Robustness aggregates (all zero when faults are disabled).
+  bool faults_active = false;
+  int faults_injected = 0;
+  int faults_absorbed = 0;
+  int degraded_frames = 0;
+  int recovery_events = 0;
+  int recovery_gofs = 0;
+  int renegotiations = 0;
+  int evictions = 0;
+  int coasted_rounds = 0;
+  std::array<int, kNumSloClasses> evictions_by_class = {};
 };
 
 class StreamingService {

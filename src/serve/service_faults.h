@@ -1,0 +1,68 @@
+// Device-wide fault injection for the multi-tenant service.
+//
+// On a shared mobile GPU a contention spike or a thermal ramp is not a
+// per-stream event: every co-located stream slows down together. The
+// ServiceFaultPlan is that correlation — one FaultPlan, keyed by a single
+// service fault seed, whose contention bursts and thermal ramps apply
+// exogenously on top of the endogenous GpuShareLedger level for *all* streams
+// in the same round snapshot. The stateless point faults of the same spec
+// (latency outliers, transient detector failures, frame drops) stay
+// per-stream: each StreamSession resolves them through its own FaultRuntime,
+// exactly like the single-tenant protocols.
+//
+// The plan is queried by planning round, not frame: the service freezes
+// (endogenous level + burst level, thermal scale) once per round alongside the
+// contention snapshot, so every session prices and runs the round under the
+// same device state at any thread count. Preset rates are expressed per 100
+// frames; one round advances every stream by roughly one GoF
+// (kNominalGofFrames frames), so rates and interval lengths are rescaled to
+// round units at construction — a "severe" schedule stresses a 30-round
+// serving run the way it stresses a 240-frame single-tenant one.
+#ifndef SRC_SERVE_SERVICE_FAULTS_H_
+#define SRC_SERVE_SERVICE_FAULTS_H_
+
+#include <cstdint>
+
+#include "src/platform/faults.h"
+
+namespace litereconfig {
+
+// Frames one planning round advances a stream by, for rate conversion.
+inline constexpr int kNominalGofFrames = 8;
+
+struct ServiceFaultConfig {
+  FaultSpec spec;  // Any() == false disables the whole fault path
+  uint64_t fault_seed = 1;
+  // Graceful degradation: per-stream retry/backoff/coast plus the service's
+  // pressure ladder (coast, renegotiate, evict). Off = naive blocking retries
+  // and no load shedding.
+  bool degrade = true;
+};
+
+class ServiceFaultPlan {
+ public:
+  ServiceFaultPlan() = default;
+  // `round_horizon` bounds the materialized schedule (the service's
+  // max_rounds cap).
+  ServiceFaultPlan(const FaultSpec& spec, uint64_t fault_seed,
+                   int round_horizon);
+
+  // Whether the spec carries any device-wide intervals at all.
+  bool active() const { return plan_.active(); }
+
+  // Exogenous contention the device adds at `round` (stacked on the ledger
+  // level, then clamped to kMaxEndogenousLevel by the caller).
+  double BurstLevelAt(int round) const { return plan_.BurstLevelAt(round); }
+  int BurstIndexAt(int round) const { return plan_.BurstIndexAt(round); }
+
+  // Multiplicative kernel-latency factor of the thermal drift at `round`.
+  double ThermalScaleAt(int round) const { return plan_.ThermalScaleAt(round); }
+  int RampIndexAt(int round) const { return plan_.RampIndexAt(round); }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace litereconfig
+
+#endif  // SRC_SERVE_SERVICE_FAULTS_H_

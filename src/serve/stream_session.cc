@@ -1,6 +1,7 @@
 #include "src/serve/stream_session.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/det/detector.h"
 #include "src/features/light.h"
@@ -22,20 +23,44 @@ TrackerConfig CoastTracker(const Branch& branch) {
                             : TrackerConfig{TrackerType::kMedianFlow, 4};
 }
 
+// Builds the session's fault runtime: only the spec's stateless point faults
+// are materialized here (device-wide intervals live in the service's shared
+// ServiceFaultPlan); the runtime is engaged anyway so interval faults the
+// service records on its behalf reach the same absorption/recovery books.
+FaultRuntime MakeSessionFaults(const ServiceFaultConfig* faults,
+                               const StreamRequest& request, int frame_count,
+                               double frame_interval_ms) {
+  if (faults == nullptr || !faults->spec.Any()) {
+    return FaultRuntime(nullptr, request.video.seed, frame_count,
+                        /*fault_seed=*/1, /*degrade=*/true,
+                        /*base_contention=*/0.0, frame_interval_ms);
+  }
+  FaultSpec point = faults->spec.WithoutIntervals();
+  FaultRuntime runtime(&point, request.video.seed, frame_count,
+                       faults->fault_seed, faults->degrade,
+                       /*base_contention=*/0.0, frame_interval_ms);
+  runtime.EngageServiceFaults();
+  return runtime;
+}
+
 }  // namespace
 
 StreamSession::StreamSession(const TrainedModels* models,
                              SchedulerConfig config,
                              const StreamRequest& request,
                              const SwitchingCostModel* switching,
-                             uint64_t service_salt)
+                             uint64_t service_salt,
+                             const ServiceFaultConfig* faults)
     : models_(models),
       scheduler_(models, config),
       request_(request),
       video_(SyntheticVideo::Generate(request.video)),
       switching_(switching),
       platform_(models->device, 0.0),
-      rng_(HashKeys({request.video.seed, service_salt, 0x5e55ull})) {
+      rng_(HashKeys({request.video.seed, service_salt, 0x5e55ull})),
+      faults_(MakeSessionFaults(faults, request, video_.frame_count(),
+                                1000.0 / request.video.fps)),
+      effective_class_(request.slo_class) {
   // Serving mode from the start: the co-located streams are the contention;
   // any simulated contention write from here on is dropped, not stacked.
   platform_.SetEndogenousContention(0.0);
@@ -61,7 +86,8 @@ bool StreamSession::FeasibleAt(double level) const {
   return false;
 }
 
-std::vector<BranchOption> StreamSession::Menu(double level) const {
+std::vector<BranchOption> StreamSession::Menu(double level,
+                                              double thermal_scale) const {
   DecisionContext ctx;
   ctx.video = &video_;
   ctx.frame = t_;
@@ -69,10 +95,48 @@ std::vector<BranchOption> StreamSession::Menu(double level) const {
   ctx.current_branch = current_;
   ctx.slo_ms = request_.slo_ms;
   ctx.frames_remaining = video_.frame_count() - t_;
-  ctx.gpu_cal = AnalyticGpuCal(level);
+  // Thermal drift slows the whole SoC, so it inflates both calibrations.
+  ctx.gpu_cal = AnalyticGpuCal(level) * thermal_scale;
+  ctx.cpu_cal = thermal_scale;
   std::vector<double> light = ComputeLightFeatures(
       video_.spec().width, video_.spec().height, anchor_);
   return BuildBranchMenu(*models_, scheduler_.config(), ctx, light);
+}
+
+double StreamSession::CheapestFrameMs(double level,
+                                      double thermal_scale) const {
+  const BranchSpace& space = *models_->space;
+  LatencyModel probe(models_->device, level);
+  probe.set_thermal_scale(thermal_scale);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t b = 0; b < space.size(); ++b) {
+    best = std::min(best,
+                    probe.BranchFrameMs(space.at(b), kFallbackObjectCount));
+  }
+  return best;
+}
+
+double StreamSession::CoastFrameMs(double thermal_scale) const {
+  TrackerConfig tracker = current_.has_value()
+                              ? CoastTracker(models_->space->at(*current_))
+                              : TrackerConfig{TrackerType::kMedianFlow, 4};
+  LatencyModel probe(models_->device, 0.0);
+  probe.set_thermal_scale(thermal_scale);
+  return probe.TrackerMs(tracker, std::max(CountConfident(last_frame_), 1));
+}
+
+void StreamSession::Renegotiate(SloClass demoted) {
+  if (demoted == effective_class_) {
+    return;
+  }
+  effective_class_ = demoted;
+  ++renegotiations_;
+}
+
+void StreamSession::RestoreClass() { effective_class_ = request_.slo_class; }
+
+void StreamSession::RecordEviction() {
+  faults_.RecordServiceFault(FailureKind::kEvicted, t_, /*recovered=*/false);
 }
 
 void StreamSession::EmitFrames(std::vector<DetectionList> frames) {
@@ -85,15 +149,82 @@ void StreamSession::EmitFrames(std::vector<DetectionList> frames) {
   }
 }
 
-GofReport StreamSession::StepGof(double level, double budget_ms) {
+void StreamSession::CoastGof(GofReport& report, double penalty_ms) {
+  const Branch& coast_branch = models_->space->at(*current_);
+  TrackerConfig coast_tracker = CoastTracker(coast_branch);
+  int length = std::min(std::max(coast_branch.gof, 1),
+                        video_.frame_count() - t_);
+  std::vector<DetectionList> coasted = ExecutionKernel::TrackOnly(
+      video_, t_, length, coast_tracker, last_frame_, request_.video.seed);
+  if (coasted.empty()) {
+    report.done = true;
+    t_ = video_.frame_count();
+    return;
+  }
+  int tracked = CountConfident(last_frame_);
+  double track_total = 0.0;
+  for (size_t i = 0; i < coasted.size(); ++i) {
+    track_total += platform_.Sample(
+        platform_.TrackerMs(coast_tracker, tracked), rng_);
+  }
+  double len = static_cast<double>(coasted.size());
+  report.branch = *current_;
+  report.gof_length = static_cast<int>(len);
+  report.frame_ms = (track_total + penalty_ms) / len;
+  report.gpu_share = 0.0;  // no detector invocation: the GPU is free
+  report.missed = report.frame_ms > request_.slo_ms;
+  anchor_ = coasted.back();
+  EmitFrames(std::move(coasted));
+}
+
+void StreamSession::FinishGof(GofReport& report, size_t fault_mark,
+                              bool coasted) {
+  report.coasted = coasted;
+  gof_frame_ms_.push_back(report.frame_ms);
+  if (report.missed) {
+    ++deadline_misses_;
+    ++miss_streak_;
+    int tolerance = SloClassMissTolerance(effective_class_);
+    if (!forced_ && miss_streak_ >= tolerance) {
+      forced_ = true;
+    }
+  } else {
+    miss_streak_ = 0;
+    forced_ = false;
+  }
+  // The watchdog's forced-fallback entry/exit rides the same recovery-episode
+  // accounting the single-tenant FaultRuntime keeps: a missed GoF opens an
+  // episode, a clean one closes it, so serve and single-stream robustness
+  // metrics are comparable.
+  faults_.OnGofComplete(report.frame_ms, request_.slo_ms,
+                        std::max(report.gof_length, 1), coasted);
+  const std::vector<FailureReport>& failures = faults_.accounting().failures;
+  for (size_t i = fault_mark; i < failures.size(); ++i) {
+    report.faults.push_back(failures[i]);
+  }
+  report.done = done();
+  if (report.done) {
+    report.gpu_share = 0.0;
+  }
+}
+
+GofReport StreamSession::StepGof(const StepConditions& conditions) {
   GofReport report;
   if (done()) {
     report.done = true;
     return report;
   }
-  platform_.SetEndogenousContention(level);
-  double gpu_cal = AnalyticGpuCal(level);
+  platform_.SetEndogenousContention(conditions.level);
+  platform_.set_thermal_scale(conditions.thermal_scale);
+  double gpu_cal = AnalyticGpuCal(conditions.level) * conditions.thermal_scale;
   const BranchSpace& space = *models_->space;
+
+  size_t fault_mark = faults_.accounting().failures.size();
+  faults_.BeginGof(t_);
+  // Device-wide intervals are shared state; the service passes the covering
+  // interval indices in, and the session books them like its own.
+  faults_.NoteServiceBurst(conditions.burst_index, t_);
+  faults_.NoteServiceRamp(conditions.ramp_index, t_);
 
   if (!preheated_) {
     // Preheat probe (paper footnote 6): one cheap detector invocation on the
@@ -104,6 +235,19 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
     anchor_ = DetectorSim::Detect(video_, 0, probe, DetectorQuality{},
                                   HashKeys({request_.video.seed, 0x94e47ull}));
     preheated_ = true;
+  }
+
+  if (conditions.coast && CanCoast()) {
+    // The pressure ladder shed this stream's detector load for the round:
+    // tracker-only GoF on the current branch, no scheduler pass.
+    report.frame = t_;
+    ++coasted_rounds_;
+    CoastGof(report, 0.0);
+    if (report.done && report.gof_length == 0) {
+      return report;  // nothing trackable remained
+    }
+    FinishGof(report, fault_mark, /*coasted=*/true);
+    return report;
   }
 
   SchedulerDecision decision;
@@ -124,7 +268,8 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
     ctx.slo_ms = request_.slo_ms;
     ctx.frames_remaining = video_.frame_count() - t_;
     ctx.gpu_cal = gpu_cal;
-    ctx.budget_ms = budget_ms;
+    ctx.cpu_cal = conditions.thermal_scale;
+    ctx.budget_ms = conditions.budget_ms;
     decision = scheduler_.Decide(ctx);
   }
   report.frame = t_;
@@ -164,6 +309,20 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
     EmitFrames(std::move(tail));
   } else {
     const Branch& branch = space.at(decision.branch_index);
+    // Resolve the GoF's detector invocation against the fault plan before
+    // committing to a switch: a coasted GoF stays on the current branch.
+    FaultRuntime::DetectorOutcome outcome = faults_.ResolveDetector(
+        t_, platform_.DetectorMs(branch.detector), CanCoast());
+    if (outcome.coast) {
+      // Coast mode: the detector is down (or the capture dropped); extend
+      // tracking from the last emitted outputs and mark the frames degraded.
+      CoastGof(report, outcome.penalty_ms);
+      if (report.done && report.gof_length == 0) {
+        return report;
+      }
+      FinishGof(report, fault_mark, /*coasted=*/true);
+      return report;
+    }
     double switch_sample = 0.0;
     if (current_.has_value() && *current_ != decision.branch_index) {
       switch_sample = switching_->OnlineCostMs(space.at(*current_), branch,
@@ -176,7 +335,8 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
     DetectionList anchor_dets =
         ExecutionKernel::DetectAnchor(video_, t_, branch, request_.video.seed);
     double det_sample =
-        platform_.Sample(platform_.DetectorMs(branch.detector), rng_);
+        platform_.Sample(platform_.DetectorMs(branch.detector), rng_) *
+        outcome.outlier_scale;
     double track_total = 0.0;
     std::vector<DetectionList> tracked_frames;
     if (branch.has_tracker && length > 1) {
@@ -189,7 +349,8 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
       }
     }
     double len = static_cast<double>(1 + tracked_frames.size());
-    double gof_total = det_sample + track_total + switch_sample;
+    double gof_total =
+        det_sample + track_total + switch_sample + outcome.penalty_ms;
     if (scheduler_.config().charge_feature_overhead) {
       gof_total += decision.scheduler_cost_ms;
     }
@@ -219,22 +380,7 @@ GofReport StreamSession::StepGof(double level, double budget_ms) {
     current_ = decision.branch_index;
   }
 
-  gof_frame_ms_.push_back(report.frame_ms);
-  if (report.missed) {
-    ++deadline_misses_;
-    ++miss_streak_;
-    int tolerance = SloClassMissTolerance(request_.slo_class);
-    if (!forced_ && miss_streak_ >= tolerance) {
-      forced_ = true;
-    }
-  } else {
-    miss_streak_ = 0;
-    forced_ = false;
-  }
-  report.done = done();
-  if (report.done) {
-    report.gpu_share = 0.0;
-  }
+  FinishGof(report, fault_mark, /*coasted=*/false);
   return report;
 }
 

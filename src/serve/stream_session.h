@@ -4,21 +4,30 @@
 //
 // The service advances every admitted session one GoF per planning round.
 // Coupling to the co-located streams enters exclusively through StepGof's
-// arguments — the endogenous contention level frozen from the previous
-// round's posted GPU shares, and the allocator-granted budget — so sessions
-// can step concurrently (ParallelFor across streams) and the run stays
-// bit-identical at any thread count.
+// StepConditions — the endogenous contention level frozen from the previous
+// round's posted GPU shares, the allocator-granted budget, and the
+// device-wide fault snapshot (exogenous burst level, thermal scale, whether
+// the control plane coasts this stream) — so sessions can step concurrently
+// (ParallelFor across streams) and the run stays bit-identical at any thread
+// count.
+//
+// Per-stream transient faults (latency outliers, detector failures, frame
+// drops) resolve through a session-local FaultRuntime with the same
+// retry/backoff/coast semantics as the single-tenant protocols; device-wide
+// intervals are recorded into the same accounting on the service's behalf.
 #ifndef SRC_SERVE_STREAM_SESSION_H_
 #define SRC_SERVE_STREAM_SESSION_H_
 
 #include <optional>
 #include <vector>
 
+#include "src/platform/faults.h"
 #include "src/platform/latency.h"
 #include "src/platform/switching.h"
 #include "src/sched/branch_menu.h"
 #include "src/sched/scheduler.h"
 #include "src/serve/arrivals.h"
+#include "src/serve/service_faults.h"
 #include "src/serve/slo_class.h"
 #include "src/util/rng.h"
 #include "src/video/synthetic_video.h"
@@ -47,16 +56,43 @@ struct GofReport {
   bool forced = false;
   // Tail continuation: tracker-only GoF, no detector invocation.
   bool tail = false;
+  // Tracker-only GoF because the detector was down, the capture dropped, or
+  // the control plane shed this stream's detector load for the round.
+  bool coasted = false;
+  // Faults newly recorded during this step, in injection order; the service
+  // emits them as trace events in the sequential merge.
+  std::vector<FailureReport> faults;
   // GPU share the chosen branch occupies (detector duty cycle at zero
   // contention), posted to the ledger for the next round's level snapshot.
   double gpu_share = 0.0;
 };
 
+// The frozen per-round device state a session steps under. Everything here is
+// decided sequentially before the parallel fan-out.
+struct StepConditions {
+  // Endogenous ledger level plus any device-wide burst, pre-clamped.
+  double level = 0.0;
+  // Allocator-granted budget (0 = unconstrained).
+  double budget_ms = 0.0;
+  // Device-wide thermal drift factor for the round (1.0 = nominal).
+  double thermal_scale = 1.0;
+  // The pressure ladder shed this stream's detector load: track only.
+  bool coast = false;
+  // Device-wide interval indices covering this round (-1 = none), recorded
+  // into the session's fault accounting once per interval.
+  int burst_index = -1;
+  int ramp_index = -1;
+};
+
 class StreamSession {
  public:
+  // `faults` may be null (no fault injection). Only the spec's stateless
+  // point faults are materialized per session — device-wide intervals belong
+  // to the service's shared ServiceFaultPlan.
   StreamSession(const TrainedModels* models, SchedulerConfig config,
                 const StreamRequest& request,
-                const SwitchingCostModel* switching, uint64_t service_salt);
+                const SwitchingCostModel* switching, uint64_t service_salt,
+                const ServiceFaultConfig* faults = nullptr);
 
   const StreamRequest& request() const { return request_; }
   const SyntheticVideo& video() const { return video_; }
@@ -71,13 +107,51 @@ class StreamSession {
   // to check that a candidate leaves every existing stream servable.
   bool FeasibleAt(double level) const;
 
-  // The stream's Pareto (cost, accuracy) menu at the given level — the demand
-  // curve the global allocator trades along. Consumes no RNG.
-  std::vector<BranchOption> Menu(double level) const;
+  // The stream's Pareto (cost, accuracy) menu at the given level and thermal
+  // factor — the demand curve the global allocator trades along. Consumes no
+  // RNG.
+  std::vector<BranchOption> Menu(double level, double thermal_scale = 1.0) const;
 
-  // Advances the stream by one GoF under the frozen contention level and the
-  // allocator-granted budget. Touches only session-local state.
-  GofReport StepGof(double level, double budget_ms);
+  // Mean per-frame cost of the cheapest branch at the given device state —
+  // what the stream costs if it runs at all. The pressure ladder's fit check
+  // prices empty-menu streams with this.
+  double CheapestFrameMs(double level, double thermal_scale) const;
+
+  // Mean per-frame cost of a tracker-only (coasted) round at the given
+  // thermal factor. Zero GPU; this is what a coasted stream still charges.
+  double CoastFrameMs(double thermal_scale) const;
+
+  // Whether the session has prior outputs to coast from.
+  bool CanCoast() const { return t_ > 0 && current_.has_value(); }
+
+  // Advances the stream by one GoF under the frozen device conditions.
+  // Touches only session-local state.
+  GofReport StepGof(const StepConditions& conditions);
+  GofReport StepGof(double level, double budget_ms) {
+    StepConditions conditions;
+    conditions.level = level;
+    conditions.budget_ms = budget_ms;
+    return StepGof(conditions);
+  }
+
+  // SLO renegotiation: the control plane demotes the stream one class under
+  // sustained pressure and restores it when pressure clears. The effective
+  // class drives the watchdog tolerance and the allocator weight; the
+  // original class is what the stream asked for.
+  SloClass effective_class() const { return effective_class_; }
+  void Renegotiate(SloClass demoted);
+  void RestoreClass();
+  int renegotiations() const { return renegotiations_; }
+  int coasted_rounds() const { return coasted_rounds_; }
+
+  // Records the stream's eviction into its fault accounting (structured
+  // FailureReport, recovered = false).
+  void RecordEviction();
+
+  // Robustness accounting (per-stream FaultRuntime books, read at departure).
+  const FaultAccounting& fault_accounting() const {
+    return faults_.accounting();
+  }
 
   // Accuracy/latency accumulated so far (read after the stream departs).
   const ApEvaluator& eval() const { return eval_; }
@@ -96,6 +170,11 @@ class StreamSession {
   static double AnalyticGpuCal(double level);
   // Emits `frames` into the stream output and the AP accumulation.
   void EmitFrames(std::vector<DetectionList> frames);
+  // Tracker-only GoF from the last emitted frame (coast and control-plane
+  // shed paths); `penalty_ms` is charged on top of the tracker time.
+  void CoastGof(GofReport& report, double penalty_ms);
+  // Watchdog + recovery bookkeeping shared by every StepGof exit path.
+  void FinishGof(GofReport& report, size_t fault_mark, bool coasted);
 
   const TrainedModels* models_;
   LiteReconfigScheduler scheduler_;
@@ -106,6 +185,9 @@ class StreamSession {
   // simulated contention writes cannot double-count (see LatencyModel).
   LatencyModel platform_;
   Pcg32 rng_;
+  // Per-stream transient faults + the robustness books. Device-wide intervals
+  // are recorded into it by the service via StepConditions.
+  FaultRuntime faults_;
 
   DetectionList anchor_;
   // The last emitted frame's detections (tail continuations track from here,
@@ -119,6 +201,9 @@ class StreamSession {
   // the session is forced onto the cheapest branch until a clean GoF.
   int miss_streak_ = 0;
   bool forced_ = false;
+  SloClass effective_class_ = SloClass::kStandard;
+  int renegotiations_ = 0;
+  int coasted_rounds_ = 0;
 
   ApEvaluator eval_;
   std::vector<double> gof_frame_ms_;

@@ -42,11 +42,7 @@ int Run(int argc, char** argv) {
   flags.Define("csv", "", "write per-GoF amortized latency samples to this CSV");
   flags.Define("trace", "",
                "write the decision trace (JSONL) here; LiteReconfig variants only");
-  std::string preset_list;
-  for (std::string_view preset : FaultSpec::PresetNames()) {
-    if (!preset_list.empty()) preset_list += " | ";
-    preset_list += preset;
-  }
+  std::string preset_list = FaultPresetList();
   flags.Define("faults", "none", "fault-injection schedule: " + preset_list);
   flags.Define("fault_seed", "1",
                "seed for the deterministic fault streams (per-video substreams)");

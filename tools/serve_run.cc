@@ -38,6 +38,15 @@ int Run(int argc, char** argv) {
   flags.Define("threads", "0",
                "worker threads for the per-stream fan-out (0 = all cores); "
                "results (json and trace included) are identical for every value");
+  std::string preset_list = FaultPresetList();
+  flags.Define("faults", "none", "fault-injection schedule: " + preset_list);
+  flags.Define("fault_seed", "1",
+               "seed for the deterministic fault streams (device-wide "
+               "intervals + per-stream substreams)");
+  flags.Define("degrade", "1",
+               "1 = graceful degradation (per-stream retry/coast plus the "
+               "pressure ladder: coast, renegotiate, evict); 0 = naive "
+               "blocking retries and no load shedding");
   flags.Define("json", "", "write the serving result as one-line JSON here");
   flags.Define("trace", "", "write the per-stream decision trace (JSONL) here");
   if (!flags.Parse(argc, argv)) {
@@ -69,6 +78,15 @@ int Run(int argc, char** argv) {
   config.admission.max_streams =
       static_cast<size_t>(std::max(flags.GetInt("max_streams"), 0));
   config.threads = flags.GetInt("threads");
+  std::optional<FaultSpec> faults = FaultSpec::FromName(flags.GetString("faults"));
+  if (!faults) {
+    std::cerr << "unknown fault schedule '" << flags.GetString("faults")
+              << "' (want " << preset_list << ")\n";
+    return 1;
+  }
+  config.faults.spec = *faults;
+  config.faults.fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
+  config.faults.degrade = flags.GetInt("degrade") != 0;
 
   std::ofstream trace_file;
   std::unique_ptr<TraceWriter> trace;
@@ -127,6 +145,35 @@ int Run(int argc, char** argv) {
               << result.streams_by_class[cls] << " streams, "
               << result.misses_by_class[cls] << "/" << result.gofs_by_class[cls]
               << " GoFs missed (" << FmtDouble(rate * 100.0, 2) << " %)\n";
+  }
+  if (result.faults_active) {
+    std::cout << "faults:           " << flags.GetString("faults") << " (seed "
+              << config.faults.fault_seed << ", degradation "
+              << (config.faults.degrade ? "on" : "off") << ")\n"
+              << "robustness:       " << result.faults_injected << " injected, "
+              << result.faults_absorbed << " absorbed, "
+              << result.degraded_frames << " degraded frames\n"
+              << "pressure ladder:  " << result.coasted_rounds
+              << " coasted rounds, " << result.renegotiations
+              << " renegotiations, " << result.evictions << " evictions";
+    if (result.evictions > 0) {
+      std::cout << " (";
+      bool first = true;
+      for (int c = 0; c < kNumSloClasses; ++c) {
+        size_t cls = static_cast<size_t>(c);
+        if (result.evictions_by_class[cls] == 0) {
+          continue;
+        }
+        if (!first) {
+          std::cout << ", ";
+        }
+        first = false;
+        std::cout << result.evictions_by_class[cls] << " "
+                  << SloClassName(static_cast<SloClass>(c));
+      }
+      std::cout << ")";
+    }
+    std::cout << "\n";
   }
   if (trace != nullptr) {
     std::cout << "wrote " << trace->count() << " trace records to "

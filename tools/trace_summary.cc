@@ -65,6 +65,9 @@ int Run(int argc, char** argv) {
   int recalibrations = 0;
   int reanchors = 0;
   int replans = 0;
+  // Serving pressure-ladder events (multi-tenant traces only).
+  int renegotiations = 0;
+  int evictions = 0;
   uint64_t episode_video = 0;
   bool in_episode = false;
   for (const DecisionRecord& record : records) {
@@ -83,6 +86,14 @@ int Run(int argc, char** argv) {
     }
     if (record.event == "replan") {
       ++replans;
+      continue;
+    }
+    if (record.event == "renegotiate") {
+      ++renegotiations;
+      continue;
+    }
+    if (record.event == "evict") {
+      ++evictions;
       continue;
     }
     if (in_episode && record.video_seed != episode_video) {
@@ -152,7 +163,8 @@ int Run(int argc, char** argv) {
       std::cout << "  " << kind << ": " << count << "\n";
     }
   }
-  if (misses > 0 || recalibrations > 0 || reanchors > 0 || replans > 0) {
+  if (misses > 0 || recalibrations > 0 || reanchors > 0 || replans > 0 ||
+      renegotiations > 0 || evictions > 0) {
     std::cout << "\nRobustness:\n"
               << "  deadline misses: " << misses << " over " << recovery_episodes
               << " recovery episodes";
@@ -166,6 +178,10 @@ int Run(int argc, char** argv) {
     std::cout << "\n  recalibrations: " << recalibrations
               << ", re-anchors: " << reanchors
               << ", pre-emptive re-plans: " << replans << "\n";
+    if (renegotiations > 0 || evictions > 0) {
+      std::cout << "  SLO renegotiations: " << renegotiations
+                << ", evictions: " << evictions << "\n";
+    }
   }
   return 0;
 }
