@@ -11,7 +11,14 @@
 //   3. no strict stream is ever shed: evictions_by_class[strict] == 0;
 //   4. the faulted service stays deterministic: ServeEvalJson AND the decision
 //      trace byte-identical across --threads={1,2,8} for the fixed
-//      (arrival_seed, fault_seed).
+//      (arrival_seed, fault_seed);
+//   5. device-wide GPU denial (denied_severe): denied rounds occur and the
+//      CPU-family service serves them with scheduled CPU detection
+//      (cpu_fallback_gofs > 0). The coast-only service has nothing schedulable
+//      while the device is denied, so it sheds arrivals; the family must admit
+//      at least as many streams, serve strictly more frames at strictly higher
+//      accuracy-weighted goodput, keep transition deadline misses under 1% of
+//      served frames — and the denial run is itself thread-count invariant.
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -39,9 +46,9 @@ ArrivalSpec BenchSpec() {
 
 constexpr uint64_t kFaultSeed = 7;
 
-ServeConfig BenchConfig(bool degrade, int threads) {
+ServeConfig BenchConfig(const FaultSpec& faults, bool degrade, int threads) {
   ServeConfig config;
-  config.faults.spec = FaultSpec::Severe();
+  config.faults.spec = faults;
   config.faults.fault_seed = kFaultSeed;
   config.faults.degrade = degrade;
   config.threads = threads;
@@ -54,13 +61,13 @@ struct ChaosRun {
   std::string trace;
 };
 
-ChaosRun RunChaos(const Workbench& wb, const ArrivalSpec& spec, bool degrade,
-                  int threads) {
+ChaosRun RunChaos(const TrainedModels& models, const ArrivalSpec& spec,
+                  const FaultSpec& faults, bool degrade, int threads) {
   ChaosRun run;
   std::ostringstream trace_os;
   TraceWriter trace(trace_os);
-  run.eval = ServeRunner::Run(wb.models(), spec, BenchConfig(degrade, threads),
-                              &trace);
+  run.eval = ServeRunner::Run(models, spec,
+                              BenchConfig(faults, degrade, threads), &trace);
   std::vector<uint64_t> stream_order;
   for (const StreamOutcome& outcome : run.eval.result.streams) {
     stream_order.push_back(outcome.stream_id);
@@ -77,8 +84,11 @@ int Run(int argc, char** argv) {
   ArrivalSpec spec = BenchSpec();
 
   WallTimer timer;
-  ChaosRun degraded = RunChaos(wb, spec, /*degrade=*/true, threads);
-  ChaosRun naive = RunChaos(wb, spec, /*degrade=*/false, threads);
+  FaultSpec severe = FaultSpec::Severe();
+  ChaosRun degraded =
+      RunChaos(wb.models(), spec, severe, /*degrade=*/true, threads);
+  ChaosRun naive =
+      RunChaos(wb.models(), spec, severe, /*degrade=*/false, threads);
   double bench_ms = timer.ElapsedMs();
 
   TablePrinter table({"mode", "mAP (mean/stream)", "misses", "injected",
@@ -136,7 +146,7 @@ int Run(int argc, char** argv) {
   // Determinism under chaos: JSON and trace independent of the thread count.
   bool identical = true;
   for (int t : {1, 2, 8}) {
-    ChaosRun rerun = RunChaos(wb, spec, /*degrade=*/true, t);
+    ChaosRun rerun = RunChaos(wb.models(), spec, severe, /*degrade=*/true, t);
     if (rerun.json != degraded.json) {
       std::cout << "GATE FAIL: ServeEvalJson differs at --threads=" << t
                 << "\n";
@@ -151,6 +161,90 @@ int Run(int argc, char** argv) {
   if (identical) {
     std::cout
         << "gate: ServeEvalJson + trace identical at --threads={1,2,8}\n";
+  } else {
+    gate_ok = false;
+  }
+
+  // --- Device-wide GPU denial: CPU family vs coast-only ---
+  // Same arrival trace and fault seed, so denied rounds line up exactly; the
+  // only lever is whether the branch space carries the CPU-only family.
+  FaultSpec denied = *FaultSpec::FromName("denied_severe");
+  ChaosRun cpu_run = RunChaos(wb.cpu_family_models(), spec, denied,
+                              /*degrade=*/true, threads);
+  ChaosRun coast_run =
+      RunChaos(wb.models(), spec, denied, /*degrade=*/true, threads);
+  const ServeResult& cr = cpu_run.eval.result;
+  const ServeResult& kr = coast_run.eval.result;
+  // Without a CPU family, nothing is schedulable during a device-wide denial:
+  // admission rejects arrivals and survivors coast. The family converts that
+  // shed load into CPU-served load, so the comparison is availability and
+  // accuracy-weighted goodput (mean accuracy x served frames), not whole-run
+  // mean accuracy over two very different served populations.
+  const double cpu_goodput =
+      cr.mean_accuracy * static_cast<double>(cr.total_frames);
+  const double coast_goodput =
+      kr.mean_accuracy * static_cast<double>(kr.total_frames);
+  std::cout << "\n--- device-wide denial (denied_severe) ---\n";
+  TablePrinter denial_table({"mode", "mAP (mean/stream)", "frames", "rejected",
+                             "misses", "denied rounds", "CPU fallback GoFs",
+                             "goodput"});
+  denial_table.AddRow({"CPU family", FmtDouble(cr.mean_accuracy * 100.0, 2),
+                       std::to_string(cr.total_frames),
+                       std::to_string(cr.rejected),
+                       std::to_string(cr.total_misses),
+                       std::to_string(cr.denied_rounds),
+                       std::to_string(cr.cpu_fallback_gofs),
+                       FmtDouble(cpu_goodput, 1)});
+  denial_table.AddRow({"coast only", FmtDouble(kr.mean_accuracy * 100.0, 2),
+                       std::to_string(kr.total_frames),
+                       std::to_string(kr.rejected),
+                       std::to_string(kr.total_misses),
+                       std::to_string(kr.denied_rounds),
+                       std::to_string(kr.cpu_fallback_gofs),
+                       FmtDouble(coast_goodput, 1)});
+  denial_table.Print(std::cout);
+  if (cr.denied_rounds == 0 || cr.cpu_fallback_gofs == 0 ||
+      kr.cpu_fallback_gofs != 0) {
+    std::cout << "GATE FAIL: denial does not bite as expected ("
+              << cr.denied_rounds << " denied rounds, "
+              << cr.cpu_fallback_gofs << " family CPU GoFs, "
+              << kr.cpu_fallback_gofs << " coast CPU GoFs)\n";
+    gate_ok = false;
+  } else if (cr.rejected > kr.rejected || cr.total_frames <= kr.total_frames) {
+    std::cout << "GATE FAIL: CPU family does not improve availability ("
+              << cr.rejected << " vs " << kr.rejected << " rejected, "
+              << cr.total_frames << " vs " << kr.total_frames << " frames)\n";
+    gate_ok = false;
+  } else if (cpu_goodput <= coast_goodput) {
+    std::cout << "GATE FAIL: CPU family goodput " << FmtDouble(cpu_goodput, 1)
+              << " <= coast-only " << FmtDouble(coast_goodput, 1) << "\n";
+    gate_ok = false;
+  } else if (static_cast<double>(cr.total_misses) >=
+             0.01 * static_cast<double>(cr.total_frames)) {
+    std::cout << "GATE FAIL: CPU family miss rate "
+              << FmtDouble(100.0 * cr.total_misses / cr.total_frames, 3)
+              << "% exceeds the 1% transition budget\n";
+    gate_ok = false;
+  } else {
+    std::cout << "gate: denied rounds served by the CPU family — goodput "
+              << FmtDouble(cpu_goodput, 1) << " > " << FmtDouble(coast_goodput, 1)
+              << ", rejected " << cr.rejected << " <= " << kr.rejected
+              << ", miss rate "
+              << FmtDouble(100.0 * cr.total_misses / cr.total_frames, 3)
+              << "%\n";
+  }
+  bool denial_identical = true;
+  for (int t : {1, 2, 8}) {
+    ChaosRun rerun =
+        RunChaos(wb.cpu_family_models(), spec, denied, /*degrade=*/true, t);
+    if (rerun.json != cpu_run.json || rerun.trace != cpu_run.trace) {
+      std::cout << "GATE FAIL: denial run differs at --threads=" << t << "\n";
+      denial_identical = false;
+    }
+  }
+  if (denial_identical) {
+    std::cout << "gate: denial ServeEvalJson + trace identical at "
+                 "--threads={1,2,8}\n";
   } else {
     gate_ok = false;
   }

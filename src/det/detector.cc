@@ -40,6 +40,21 @@ double CoverageFactor(int nprop, int salience_rank, double clutter,
 
 }  // namespace
 
+DetectorQuality CpuDetectorQuality() {
+  DetectorQuality quality;
+  quality.family_salt = 0xc9a5;
+  // Strictly weaker than the Faster R-CNN defaults on every axis, but a fresh
+  // CPU anchor must still beat a GoF-long tracker extrapolation from a stale
+  // GPU anchor — that margin is what makes scheduled CPU detection worth
+  // choosing over coasting during a denial window.
+  quality.size_midpoint = 19.0;
+  quality.motion_half_speed = 50.0;
+  quality.fp_scale = 1.15;
+  quality.loc_noise_scale = 1.2;
+  quality.class_accuracy = 0.87;
+  return quality;
+}
+
 double DetectorSim::DetectionProbability(const SyntheticVideo& video,
                                          const SceneObjectState& object,
                                          const DetectorConfig& config,

@@ -31,12 +31,20 @@ namespace litereconfig {
 struct DetectorConfig {
   int shape = 448;   // short-side input resolution
   int nprop = 100;   // region proposals kept
+  // CPU-only execution: a YOLO-LITE-style single-stage model that runs with no
+  // GPU kernel at all. nprop is fixed at 100 (single-stage models keep every
+  // candidate); latency prices through the CPU clock and the accuracy surface
+  // uses CpuDetectorQuality().
+  bool cpu = false;
 
   bool operator==(const DetectorConfig&) const = default;
 };
 
 inline constexpr int kDetectorShapes[] = {224, 320, 448, 576};
 inline constexpr int kDetectorNprops[] = {1, 10, 100};
+// Shapes offered by the CPU-only family (larger inputs are not real-time on
+// a mobile CPU).
+inline constexpr int kCpuDetectorShapes[] = {224, 320};
 
 // Family-specific response-surface coefficients. Defaults model Faster R-CNN
 // with a ResNet-50 backbone (the MBEK's detector).
@@ -59,6 +67,12 @@ struct DetectorQuality {
   // models honor nprop; single-stage models keep this at 1 with nprop = 100).
   double coverage_scale = 1.0;
 };
+
+// The YOLO-LITE-style CPU-only family: a shallow single-stage model tuned for
+// no-GPU execution. Weaker on small and fast objects, noisier boxes, more
+// false positives — the accuracy floor that makes detection on CPU still worth
+// scheduling over tracker-only coasting during GPU-denied intervals.
+DetectorQuality CpuDetectorQuality();
 
 class DetectorSim {
  public:

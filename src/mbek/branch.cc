@@ -5,15 +5,20 @@
 namespace litereconfig {
 
 std::string Branch::Id() const {
+  // CPU-only branches read "c224_..." so traces and summaries separate the
+  // families at a glance.
+  const char* prefix = detector.cpu ? "c" : "s";
   if (!has_tracker) {
-    return StrFormat("s%d_n%d_g%d_det", detector.shape, detector.nprop, gof);
+    return StrFormat("%s%d_n%d_g%d_det", prefix, detector.shape, detector.nprop,
+                     gof);
   }
-  return StrFormat("s%d_n%d_g%d_%s_ds%d", detector.shape, detector.nprop, gof,
+  return StrFormat("%s%d_n%d_g%d_%s_ds%d", prefix, detector.shape,
+                   detector.nprop, gof,
                    std::string(TrackerName(tracker.type)).c_str(),
                    tracker.downsample);
 }
 
-BranchSpace::BranchSpace() {
+BranchSpace::BranchSpace(bool with_cpu_family) {
   constexpr int kGofSizes[] = {4, 8, 20, 50};
   constexpr TrackerConfig kTrackerConfigs[] = {
       {TrackerType::kMedianFlow, 4},
@@ -24,6 +29,13 @@ BranchSpace::BranchSpace() {
   for (int shape : kDetectorShapes) {
     for (int nprop : kDetectorNprops) {
       detector_configs_.push_back({shape, nprop});
+    }
+  }
+  if (with_cpu_family) {
+    // YOLO-LITE-style CPU-only models: single-stage (nprop fixed at 100) and
+    // only the small shapes — larger inputs are not real-time on CPU anyway.
+    for (int shape : kCpuDetectorShapes) {
+      detector_configs_.push_back({shape, 100, /*cpu=*/true});
     }
   }
   for (const DetectorConfig& det : detector_configs_) {
@@ -47,6 +59,11 @@ BranchSpace::BranchSpace() {
 
 const BranchSpace& BranchSpace::Default() {
   static const BranchSpace* space = new BranchSpace();
+  return *space;
+}
+
+const BranchSpace& BranchSpace::WithCpuFamily() {
+  static const BranchSpace* space = new BranchSpace(/*with_cpu_family=*/true);
   return *space;
 }
 

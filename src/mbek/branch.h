@@ -25,7 +25,8 @@ struct Branch {
 
   bool operator==(const Branch&) const = default;
 
-  // Stable human-readable identifier, e.g. "s448_n100_g8_kcf_ds2".
+  // Stable human-readable identifier, e.g. "s448_n100_g8_kcf_ds2"; CPU-only
+  // branches carry a "c" prefix, e.g. "c224_n100_g8_kcf_ds2".
   std::string Id() const;
 };
 
@@ -34,6 +35,13 @@ struct Branch {
 class BranchSpace {
  public:
   static const BranchSpace& Default();
+
+  // Default() extended with the YOLO-LITE-style CPU-only detector family:
+  // shapes {224, 320} at nprop 100 (single-stage, keeps every candidate),
+  // each as detector-only plus the 4 GoF sizes x 4 tracker configurations.
+  // Opt-in — the default space (and every cached model bundle keyed on it)
+  // is untouched.
+  static const BranchSpace& WithCpuFamily();
 
   const std::vector<Branch>& branches() const { return branches_; }
   size_t size() const { return branches_.size(); }
@@ -48,7 +56,7 @@ class BranchSpace {
   }
 
  private:
-  BranchSpace();
+  explicit BranchSpace(bool with_cpu_family = false);
 
   std::vector<Branch> branches_;
   std::vector<DetectorConfig> detector_configs_;

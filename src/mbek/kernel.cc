@@ -6,6 +6,17 @@
 
 namespace litereconfig {
 
+namespace {
+
+// CPU-only branches always run the YOLO-LITE-style profile — the caller's
+// quality override describes a GPU family and does not apply to them.
+DetectorQuality EffectiveQuality(const Branch& branch,
+                                 const DetectorQuality& quality) {
+  return branch.detector.cpu ? CpuDetectorQuality() : quality;
+}
+
+}  // namespace
+
 DetectionList ExecutionKernel::DetectAnchor(const SyntheticVideo& video, int start,
                                             const Branch& branch,
                                             uint64_t run_salt,
@@ -13,7 +24,8 @@ DetectionList ExecutionKernel::DetectAnchor(const SyntheticVideo& video, int sta
   if (start >= video.frame_count()) {
     return {};
   }
-  return DetectorSim::Detect(video, start, branch.detector, quality, run_salt);
+  return DetectorSim::Detect(video, start, branch.detector,
+                             EffectiveQuality(branch, quality), run_salt);
 }
 
 std::vector<DetectionList> ExecutionKernel::TrackRemainder(
@@ -45,8 +57,9 @@ std::vector<DetectionList> ExecutionKernel::TrackRemainder(
     // A detector-only branch with gof > 1 would re-detect each frame; in the
     // curated space detector-only branches have gof == 1, but handle it anyway.
     for (int t = start + 1; t < start + length; ++t) {
-      frames.push_back(
-          DetectorSim::Detect(video, t, branch.detector, quality, run_salt));
+      frames.push_back(DetectorSim::Detect(video, t, branch.detector,
+                                           EffectiveQuality(branch, quality),
+                                           run_salt));
     }
   }
   return frames;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <memory>
 
 #include "src/features/light.h"
@@ -144,11 +145,23 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   // Watchdog fallback target: the lowest-latency end of the Pareto frontier
   // (the same shared scan the scheduler's degradation target uses).
   size_t cheapest_branch = 0;
+  // GPU-denied intervals: with a CPU-only family in the space, scheduled CPU
+  // detection replaces tracker-only coasting. Denied GoFs never take the
+  // watchdog fallback — the masked scheduler prices on the CPU clock, which
+  // contention cannot skew — so no cheapest-CPU shortcut is kept. (A
+  // post-miss cheapest-CPU stretch was tried and rejected: the long GoF at
+  // the drift-floor accuracy factor costs several mAP points per schedule
+  // while removing at most one miss.)
+  const bool has_cpu_family =
+      std::any_of(space.branches().begin(), space.branches().end(),
+                  [](const Branch& b) { return b.detector.cpu; });
   if (faults.active()) {
     cheapest_branch = CheapestBranchIndex(space.size(), [&](size_t b) {
       return env.platform->BranchFrameMs(space.at(b), kFallbackObjectCount);
     });
   }
+  // Family-demotion edge tracking for the "demote"/"restore" trace events.
+  bool in_cpu_fallback = false;
   {
     // Preheat pass (paper footnote 6: "all branches and models are loaded and
     // preheated with several video frames in the beginning"): one cheap
@@ -184,12 +197,37 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   };
   int t = 0;
   while (t < video.frame_count()) {
+    size_t begin_mark = faults.accounting().failures.size();
     faults.BeginGof(t);
     if (faults.active()) {
       platform_local.set_contention_level(faults.ContentionAt(t));
       platform_local.set_thermal_scale(faults.ThermalAt(t));
     }
     size_t fault_mark = faults.accounting().failures.size();
+    // BeginGof books interval-entry failures before fault_mark, so the main
+    // TraceFaults pass never sees them. Denial entries are traced here (the
+    // summary tool keys its denial report on them); burst/ramp entries keep
+    // their pre-existing trace behaviour so non-denial traces stay
+    // byte-identical.
+    if (trace_ != nullptr) {
+      const std::vector<FailureReport>& entry = faults.accounting().failures;
+      for (size_t i = begin_mark; i < fault_mark; ++i) {
+        if (entry[i].kind == FailureKind::kGpuDenied) {
+          DecisionRecord record;
+          record.event = "fault";
+          record.video_seed = video.spec().seed;
+          record.frame = entry[i].frame;
+          record.branch_id = std::string(FailureKindName(entry[i].kind));
+          trace_->Write(record);
+        }
+      }
+    }
+    // GPU-denied interval covering this GoF's anchor frame. With a CPU family
+    // in the space the scheduler is re-run under the availability mask (GPU
+    // branches price +inf) and the GoF is clipped to the interval end so the
+    // runtime re-plans — and resumes GPU branches — the moment the GPU comes
+    // back. Without a CPU family the only degradation left is coasting.
+    bool denied = faults.active() && faults.GpuDeniedAt(t);
     SchedulerDecision decision;
     bool forecast_planned = false;
     bool replan_early = false;
@@ -204,9 +242,14 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     if (predictive) {
       replan_early = faults.InFallback() && estimator.BurstEndingSoon();
     }
-    if (faults.InFallback() && !replan_early) {
+    if (faults.InFallback() && !replan_early && !(denied && has_cpu_family)) {
       // Watchdog fallback: skip the full scheduler pass and run the cheapest
-      // branch until a clean GoF clears the fault, then re-plan.
+      // branch until a clean GoF clears the fault, then re-plan. The fallback
+      // exists because GPU pricing is unreliable mid-burst; a denied GoF with
+      // a CPU family does NOT take it — the masked scheduler prices on the
+      // CPU clock, which contention cannot skew, and the full pass picks a
+      // refresh cadence instead of stretching the cheapest (longest-GoF) CPU
+      // branch across the window.
       decision.branch_index = cheapest_branch;
     } else {
       DecisionContext ctx;
@@ -218,6 +261,16 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       ctx.frames_remaining = video.frame_count() - t;
       ctx.gpu_cal = gpu_cal;
       ctx.cpu_cal = cpu_cal;
+      if (denied && has_cpu_family) {
+        ctx.gpu_available = false;
+        // Clip the plan to the denial interval so the amortization is priced
+        // over the frames the CPU branch will actually run, and the next
+        // decision lands exactly at the re-entry frame.
+        int denial_left = faults.DenialEndAt(t) - t;
+        if (denial_left > 0) {
+          ctx.frames_remaining = std::min(ctx.frames_remaining, denial_left);
+        }
+      }
       if (predictive) {
         ctx.heavy_blend = heavy_blend;
         if (estimator.in_burst()) {
@@ -275,6 +328,18 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     // committing to a switch: a coasted GoF stays on the current branch.
     FaultRuntime::DetectorOutcome outcome = faults.ResolveDetector(
         t, platform->DetectorMs(branch.detector), have_frames);
+    // A denial with no CPU family leaves nothing schedulable: coast exactly as
+    // for a detector crash (the pre-CPU-family behaviour).
+    if (denied && !has_cpu_family && have_frames) {
+      outcome.coast = true;
+    }
+    // Denial-window tail: too few denied frames remain to amortize any CPU
+    // anchor (the masked decision is infeasible), so paying the anchor would
+    // be a guaranteed deadline miss. Coast to the interval boundary instead;
+    // the next decision lands at re-entry with the GPU back.
+    if (denied && has_cpu_family && decision.infeasible && have_frames) {
+      outcome.coast = true;
+    }
     if (outcome.coast) {
       // Coast mode: the detector is down (or the capture dropped); extend
       // tracking from the last emitted outputs and mark the frames degraded.
@@ -283,6 +348,14 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       TrackerConfig coast_tracker = CoastTracker(coast_branch);
       int length = std::min(coast_branch.has_tracker ? coast_branch.gof : branch.gof,
                             video.frame_count() - t);
+      if (denied && has_cpu_family) {
+        // Coasting a denial tail must stop at the interval boundary so the
+        // re-entry decision runs with the GPU back.
+        int denial_left = faults.DenialEndAt(t) - t;
+        if (denial_left > 0) {
+          length = std::min(length, denial_left);
+        }
+      }
       length = std::max(length, 1);
       flush_pending();
       const DetectionList last_frame = stats.frames.back();
@@ -304,6 +377,9 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       stats.gof_lengths.push_back(static_cast<int>(len));
       faults.OnGofComplete(gof_total / len, env.slo_ms, static_cast<int>(len),
                            /*coasted=*/true);
+      if (denied) {
+        faults.RecordDeniedGof(/*cpu_fallback=*/false);
+      }
       TraceFaults(faults, fault_mark, video.spec().seed);
       t += static_cast<int>(len);
       for (DetectionList& frame : coasted) {
@@ -322,6 +398,14 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     // below need only the anchor detections and the frame count); the tracker
     // half is deferred and overlaps the next iteration's scheduler pass.
     int length = std::min(branch.gof, video.frame_count() - t);
+    if (denied && has_cpu_family) {
+      // Run the CPU family only as long as the denial holds: the GoF ends at
+      // the interval boundary so the next decision re-plans with the GPU back.
+      int denial_left = faults.DenialEndAt(t) - t;
+      if (denial_left > 0) {
+        length = std::min(length, denial_left);
+      }
+    }
     if (length <= 0) {
       break;
     }
@@ -335,14 +419,19 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     double cal_sample = env.degrade ? det_nominal : det_sample;
     double profiled = models_->latency.DetectorMs(decision.branch_index);
     double gpu_cal_at_decision = gpu_cal;
-    if (predictive && profiled > 0.0) {
+    // A CPU-family anchor observes the CPU clock: its observed/profiled ratio
+    // says nothing about GPU contention, so it must not feed the GPU
+    // calibration EWMA or the burst estimator (the default space has no CPU
+    // branches, so the no-family path is unchanged).
+    if (predictive && profiled > 0.0 && !branch.detector.cpu) {
       // Burst tracking on the detector's residual inflation: what this GoF's
       // detector cost vs. what the calibrated model expected. The signal is
       // branch-independent (a ratio), so it keeps working through fallback
       // GoFs running the cheapest branch.
       estimator.Observe(profiled * gpu_cal, cal_sample);
     }
-    if (profiled > 0.0 && scheduler_.config().use_contention_calibration) {
+    if (profiled > 0.0 && !branch.detector.cpu &&
+        scheduler_.config().use_contention_calibration) {
       gpu_cal = (1.0 - kCalibrationEwma) * gpu_cal +
                 kCalibrationEwma * (cal_sample / profiled);
     }
@@ -381,6 +470,23 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     double observed_frame_ms = gof_total / len;
     faults.OnGofComplete(observed_frame_ms, env.slo_ms, static_cast<int>(len),
                          /*coasted=*/false, forecast_planned);
+    if (denied) {
+      faults.RecordDeniedGof(/*cpu_fallback=*/branch.detector.cpu);
+    }
+    // Family-demotion edges: one "demote" when a denial first pushes the
+    // runtime onto the CPU family, one "restore" on the first GPU-backed GoF
+    // after it.
+    if (branch.detector.cpu != in_cpu_fallback) {
+      in_cpu_fallback = branch.detector.cpu;
+      if (trace_ != nullptr) {
+        DecisionRecord edge;
+        edge.event = in_cpu_fallback ? "demote" : "restore";
+        edge.video_seed = video.spec().seed;
+        edge.frame = t;
+        edge.branch_id = branch.Id();
+        trace_->Write(edge);
+      }
+    }
     if (trace_ != nullptr) {
       if (replan_early) {
         DecisionRecord replan;
@@ -475,10 +581,15 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     pending = std::make_unique<PendingGof>();
     pending->anchor = std::move(anchor_dets);
     PendingGof* raw = pending.get();
-    auto track_remainder = [raw, &video, &branch, t,
+    // The tracker half must stop where the latency accounting stopped: a
+    // denial-clipped GoF ends at the interval boundary, not at branch.gof
+    // (TrackRemainder derives its span from the branch's own GoF length).
+    Branch launch_branch = branch;
+    launch_branch.gof = length;
+    auto track_remainder = [raw, &video, launch_branch, t,
                             salt = env.run_salt]() {
-      raw->tracked =
-          ExecutionKernel::TrackRemainder(video, t, branch, raw->anchor, salt);
+      raw->tracked = ExecutionKernel::TrackRemainder(video, t, launch_branch,
+                                                     raw->anchor, salt);
     };
     int track_steps = branch.has_tracker
                           ? (length - 1) * CountConfident(pending->anchor)

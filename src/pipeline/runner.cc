@@ -86,6 +86,8 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
     result.faults_injected += stats.robustness.faults_injected;
     result.faults_absorbed += stats.robustness.faults_absorbed;
     result.degraded_frames += stats.robustness.degraded_frames;
+    result.denied_gofs += stats.robustness.denied_gofs;
+    result.cpu_fallback_gofs += stats.robustness.cpu_fallback_gofs;
     result.recalibrations += stats.robustness.recalibrations;
     result.reanchors += stats.robustness.reanchors;
     result.preemptive_replans += stats.robustness.preemptive_replans;

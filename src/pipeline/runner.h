@@ -65,6 +65,12 @@ struct EvalResult {
   int faults_injected = 0;
   int faults_absorbed = 0;
   int degraded_frames = 0;
+  // GoFs scheduled inside GPU-denied intervals, and the subset served by the
+  // CPU-only detector family instead of tracker-only coasting. Deliberately
+  // absent from EvalResultJson: the JSON surface stays byte-identical to
+  // builds without the denial fault kind.
+  int denied_gofs = 0;
+  int cpu_fallback_gofs = 0;
   // Mean GoFs from a fault (or deadline miss) back to a clean GoF; 0.0 when no
   // recovery episode completed.
   double mean_recovery_gofs = 0.0;

@@ -28,6 +28,10 @@ std::string_view ServeEventName(ServeEvent::Kind kind) {
       return "renegotiate";
     case ServeEvent::Kind::kEvict:
       return "evict";
+    case ServeEvent::Kind::kDemote:
+      return "demote";
+    case ServeEvent::Kind::kRestore:
+      return "restore";
   }
   return "unknown";
 }
@@ -160,8 +164,14 @@ std::string ServeEvalJson(const ServeEval& eval) {
        << ",\"recovery_gofs\":" << r.recovery_gofs
        << ",\"renegotiations\":" << r.renegotiations
        << ",\"evictions\":" << r.evictions
-       << ",\"coasted_rounds\":" << r.coasted_rounds
-       << ",\"evictions_by_class\":{";
+       << ",\"coasted_rounds\":" << r.coasted_rounds;
+    // Denial sub-block only when the spec carries GPU-denial intervals, so
+    // the JSON of every pre-existing fault preset stays byte-identical.
+    if (r.denials_active) {
+      os << ",\"denied_rounds\":" << r.denied_rounds
+         << ",\"cpu_fallback_gofs\":" << r.cpu_fallback_gofs;
+    }
+    os << ",\"evictions_by_class\":{";
     for (int c = 0; c < kNumSloClasses; ++c) {
       if (c > 0) {
         os << ",";
@@ -203,6 +213,10 @@ std::string ServeEvalJson(const ServeEval& eval) {
          << ",\"degraded_frames\":" << s.robustness.degraded_frames
          << ",\"recovery_events\":" << s.robustness.recovery_events
          << ",\"recovery_gofs\":" << s.robustness.recovery_gofs;
+      if (r.denials_active) {
+        os << ",\"denied_rounds\":" << s.robustness.denied_gofs
+           << ",\"cpu_fallback_gofs\":" << s.robustness.cpu_fallback_gofs;
+      }
     }
     os << "}";
   }

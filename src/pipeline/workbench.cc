@@ -6,6 +6,7 @@
 #include <map>
 
 #include "src/pipeline/serialize.h"
+#include "src/sched/cpu_family.h"
 #include "src/util/mutex.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
@@ -68,6 +69,17 @@ Workbench::Workbench(DeviceType device)
     std::fprintf(stderr, "[litereconfig] warning: could not write model cache %s\n",
                  path.c_str());
   }
+}
+
+const TrainedModels& Workbench::cpu_family_models() const {
+  // detlint: allow(mutable-global) guards the lazily-derived CPU-family bundle
+  static Mutex mutex;
+  MutexLock lock(mutex);
+  if (cpu_family_models_ == nullptr) {
+    cpu_family_models_ =
+        std::make_unique<TrainedModels>(ExtendWithCpuFamily(models_));
+  }
+  return *cpu_family_models_;
 }
 
 const Workbench& Workbench::Get(DeviceType device) {

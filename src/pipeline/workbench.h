@@ -41,6 +41,13 @@ class Workbench {
   static const Workbench& Get(DeviceType device);
 
   const TrainedModels& models() const { return models_; }
+
+  // The cached bundle grafted onto BranchSpace::WithCpuFamily (see
+  // src/sched/cpu_family.h). Derived lazily on first use — the graft is pure
+  // arithmetic over the trained bundle, so it never touches the disk cache and
+  // needs no cache invalidation.
+  const TrainedModels& cpu_family_models() const;
+
   const Dataset& train() const { return train_; }
   const Dataset& validation() const { return validation_; }
   const TrainConfig& train_config() const { return train_config_; }
@@ -56,6 +63,9 @@ class Workbench {
   Dataset train_;
   Dataset validation_;
   TrainedModels models_;
+  // Lazily-derived CPU-family extension of models_ (guarded by a mutex in
+  // cpu_family_models; null until first requested).
+  mutable std::unique_ptr<TrainedModels> cpu_family_models_;
 };
 
 // Resolved cache directory (created on demand).

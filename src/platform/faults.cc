@@ -16,6 +16,7 @@ constexpr uint64_t kOutlierSalt = 0x0071e5ull;
 constexpr uint64_t kFailureSalt = 0xdef41ull;
 constexpr uint64_t kDropSalt = 0xd509ull;
 constexpr uint64_t kRampSalt = 0x7412a9ull;
+constexpr uint64_t kDenialSalt = 0xde4163ull;
 
 std::string AsciiLower(std::string_view name) {
   std::string lower(name);
@@ -43,6 +44,8 @@ std::string_view FailureKindName(FailureKind kind) {
       return "thermal_ramp";
     case FailureKind::kEvicted:
       return "evicted";
+    case FailureKind::kGpuDenied:
+      return "gpu_denied";
   }
   return "unknown";
 }
@@ -50,7 +53,7 @@ std::string_view FailureKindName(FailureKind kind) {
 bool FaultSpec::Any() const {
   return bursts_per_100_frames > 0.0 || outlier_prob > 0.0 ||
          detector_failure_prob > 0.0 || frame_drop_prob > 0.0 ||
-         ramps_per_100_frames > 0.0;
+         ramps_per_100_frames > 0.0 || denials_per_100_frames > 0.0;
 }
 
 FaultSpec FaultSpec::None() { return FaultSpec{}; }
@@ -147,6 +150,50 @@ FaultSpec FaultSpec::SevereXavier() {
   return spec;
 }
 
+FaultSpec FaultSpec::GpuDenied() {
+  // Pure total-GPU-loss schedule: seeded intervals with no GPU at all and no
+  // other fault kind, isolating the denial story for benchmarks and tests.
+  // Denials model sustained outages (driver crash, device preempted by
+  // another tenant), not sub-second blips: a tracker coasts a short blip from
+  // its last healthy anchor almost for free, so the window must be long
+  // enough that extrapolation decay — not anchor quality — dominates.
+  FaultSpec spec;
+  spec.denials_per_100_frames = 0.8;
+  spec.denial_frames = 100;
+  return spec;
+}
+
+FaultSpec FaultSpec::DeniedFrequent() {
+  // Second pure-denial shape: repeated long outages instead of a single one
+  // (a tenant that keeps pre-empting the GPU, or a driver that crashes and
+  // recovers). Each window must stay long enough that extrapolation decay —
+  // not anchor quality — dominates: a medium (~50-frame) outage is coasted
+  // nearly for free from its fresh pre-window anchor, and the CPU family's
+  // accuracy discount loses to that (the coast-vs-family crossover sits near
+  // 100 denied frames). No other fault kind, so the comparison stays
+  // unconfounded by fault draws on the extra detector invocations.
+  FaultSpec spec;
+  spec.denials_per_100_frames = 1.0;
+  spec.denial_frames = 120;
+  return spec;
+}
+
+FaultSpec FaultSpec::DeniedModerate() {
+  // Moderate transient faults plus occasional total GPU loss: the device both
+  // misbehaves and, at intervals, disappears entirely.
+  FaultSpec spec = Moderate();
+  spec.denials_per_100_frames = 0.6;
+  spec.denial_frames = 80;
+  return spec;
+}
+
+FaultSpec FaultSpec::DeniedSevere() {
+  FaultSpec spec = Severe();
+  spec.denials_per_100_frames = 0.8;
+  spec.denial_frames = 100;
+  return spec;
+}
+
 std::optional<FaultSpec> FaultSpec::FromName(std::string_view name) {
   std::string lower = AsciiLower(name);
   if (lower == "none") {
@@ -170,14 +217,31 @@ std::optional<FaultSpec> FaultSpec::FromName(std::string_view name) {
   if (lower == "severe_xavier") {
     return SevereXavier();
   }
+  if (lower == "gpu_denied") {
+    return GpuDenied();
+  }
+  if (lower == "denied_frequent") {
+    return DeniedFrequent();
+  }
+  if (lower == "denied_moderate") {
+    return DeniedModerate();
+  }
+  if (lower == "denied_severe") {
+    return DeniedSevere();
+  }
   return std::nullopt;
 }
 
 const std::vector<std::string_view>& FaultSpec::PresetNames() {
+  // The documented order (see the PresetNames declaration): escalating
+  // transient schedules, thermal, Xavier shapes, then GPU denial. Help and
+  // error text must render exactly this sequence.
   static const std::vector<std::string_view>* names =
-      new std::vector<std::string_view>{"none",     "mild", "moderate",
-                                        "severe",   "ramp", "mild_xavier",
-                                        "severe_xavier"};
+      new std::vector<std::string_view>{
+          "none",        "mild",          "moderate",
+          "severe",      "ramp",          "mild_xavier",
+          "severe_xavier", "gpu_denied",  "denied_frequent",
+          "denied_moderate", "denied_severe"};
   return *names;
 }
 
@@ -193,6 +257,9 @@ FaultSpec FaultSpec::WithoutIntervals() const {
   FaultSpec spec = *this;
   spec.bursts_per_100_frames = 0.0;
   spec.ramps_per_100_frames = 0.0;
+  // GPU denial is device-wide by nature: in the multi-tenant service it lives
+  // in the shared ServiceFaultPlan, never per stream.
+  spec.denials_per_100_frames = 0.0;
   return spec;
 }
 
@@ -246,6 +313,21 @@ FaultPlan::FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count
                               spec_.ramp_plateau_frames, spec_.ramp_down_frames,
                               spec_.ramp_peak_scale});
         frame += ramp_span;
+      } else {
+        ++frame;
+      }
+    }
+  }
+  if (spec_.denials_per_100_frames > 0.0 && spec_.denial_frames > 0) {
+    // GPU-denied intervals: own substream, non-overlapping — the driver (or
+    // the exclusive co-tenant) gives the GPU back before it can vanish again.
+    Pcg32 rng(HashKeys({seed_, kDenialSalt}));
+    double start_prob = std::min(1.0, spec_.denials_per_100_frames / 100.0);
+    int frame = 0;
+    while (frame < frame_count) {
+      if (rng.Bernoulli(start_prob)) {
+        denials_.push_back(Denial{frame, spec_.denial_frames});
+        frame += spec_.denial_frames;
       } else {
         ++frame;
       }
@@ -305,6 +387,32 @@ double FaultPlan::ThermalScaleAt(int frame) const {
   // Cool-down: linear fall back to nominal.
   return ramp.peak - rise * (static_cast<double>(offset) + 1.0) /
                          static_cast<double>(ramp.down);
+}
+
+int FaultPlan::DenialIndexAt(int frame) const {
+  for (size_t i = 0; i < denials_.size(); ++i) {
+    if (frame >= denials_[i].start &&
+        frame < denials_[i].start + denials_[i].length) {
+      return static_cast<int>(i);
+    }
+    if (denials_[i].start > frame) {
+      break;
+    }
+  }
+  return -1;
+}
+
+bool FaultPlan::GpuDeniedAt(int frame) const {
+  return DenialIndexAt(frame) >= 0;
+}
+
+int FaultPlan::DenialEndAt(int frame) const {
+  int index = DenialIndexAt(frame);
+  if (index < 0) {
+    return frame;
+  }
+  const Denial& denial = denials_[static_cast<size_t>(index)];
+  return denial.start + denial.length;
 }
 
 double FaultPlan::DetectorOutlierScale(int frame) const {
@@ -369,6 +477,34 @@ void FaultRuntime::NoteServiceRamp(int ramp_index, int frame) {
   }
 }
 
+void FaultRuntime::NoteServiceDenial(int denial_index, int frame) {
+  if (denial_index >= 0 && denial_index != last_denial_recorded_) {
+    last_denial_recorded_ = denial_index;
+    RecordDenialEntry(frame);
+  }
+}
+
+void FaultRuntime::RecordDenialEntry(int frame) {
+  // A denial interval is a deterministic availability mask, not an invocation
+  // fault: record it for accounting and tracing, but do not count it toward
+  // the GoF's fault tally — entering a window must not arm the watchdog
+  // fallback, because CPU pricing under denial is reliable (the masked
+  // scheduler prices on the CPU clock, which contention cannot skew).
+  ++acc_.faults_injected;
+  FailureReport report;
+  report.kind = FailureKind::kGpuDenied;
+  report.frame = frame;
+  report.recovered = true;
+  acc_.failures.push_back(report);
+}
+
+void FaultRuntime::RecordDeniedGof(bool cpu_fallback) {
+  ++acc_.denied_gofs;
+  if (cpu_fallback) {
+    ++acc_.cpu_fallback_gofs;
+  }
+}
+
 void FaultRuntime::RecordServiceFault(FailureKind kind, int frame,
                                       bool recovered) {
   ++acc_.faults_injected;
@@ -394,6 +530,11 @@ void FaultRuntime::BeginGof(int frame) {
   if (ramp >= 0 && ramp != last_ramp_recorded_) {
     last_ramp_recorded_ = ramp;
     RecordFault(FailureKind::kThermalRamp, frame);
+  }
+  int denial = plan_.DenialIndexAt(frame);
+  if (denial >= 0 && denial != last_denial_recorded_) {
+    last_denial_recorded_ = denial;
+    RecordDenialEntry(frame);
   }
 }
 

@@ -49,6 +49,9 @@ enum class FailureKind {
   kThermalRamp = 5,      // thermal throttling / DVFS drift slowed all kernels
   kEvicted = 6,          // the serving control plane shed the stream under
                          // sustained overload (multi-tenant only)
+  kGpuDenied = 7,        // the GPU was denied outright for an interval (driver
+                         // reset, exclusive co-tenant, power cap): every GPU
+                         // kernel is unavailable until the interval ends
 };
 
 std::string_view FailureKindName(FailureKind kind);
@@ -89,6 +92,12 @@ struct FaultSpec {
   int ramp_up_frames = 40;
   int ramp_plateau_frames = 80;
   int ramp_down_frames = 30;
+  // GPU-denied intervals: expected interval starts per 100 frames and the
+  // interval length in frames. While denied, *every* GPU kernel is
+  // unavailable — the scheduler can only run CPU-only branches (if the branch
+  // space has them) or coast tracker-only.
+  double denials_per_100_frames = 0.0;
+  int denial_frames = 30;
 
   bool Any() const;
 
@@ -103,9 +112,21 @@ struct FaultSpec {
   // its aggressive DVFS adds thermal ramps on top.
   static FaultSpec MildXavier();
   static FaultSpec SevereXavier();
+  // Total-GPU-loss schedules: seeded intervals during which no GPU kernel can
+  // run at all. GpuDenied() and DeniedFrequent() are the pure schedules
+  // (denials only — one long outage vs repeated medium ones); the
+  // denied_moderate / denied_severe presets stack denial intervals on top of
+  // the matching transient-fault schedules.
+  static FaultSpec GpuDenied();
+  static FaultSpec DeniedFrequent();
+  static FaultSpec DeniedModerate();
+  static FaultSpec DeniedSevere();
   // Parses a preset name (case-insensitive; see PresetNames()).
   static std::optional<FaultSpec> FromName(std::string_view name);
-  // The valid preset names, for help/error text.
+  // The valid preset names in their documented order: escalating transient
+  // schedules first (none, mild, moderate, severe), then the thermal and
+  // Xavier shapes, then the GPU-denial schedules. Help/error text renders
+  // this exact order.
   static const std::vector<std::string_view>& PresetNames();
 
   // Splits a schedule into its two halves for the multi-tenant service: the
@@ -137,6 +158,10 @@ class FaultPlan {
     int down = 0;
     double peak = 1.0;
   };
+  struct Denial {
+    int start = 0;
+    int length = 0;
+  };
 
   FaultPlan() = default;
   FaultPlan(const FaultSpec& spec, uint64_t video_seed, int frame_count,
@@ -145,6 +170,7 @@ class FaultPlan {
   bool active() const { return active_; }
   const std::vector<Burst>& bursts() const { return bursts_; }
   const std::vector<Ramp>& ramps() const { return ramps_; }
+  const std::vector<Denial>& denials() const { return denials_; }
 
   // Index of the burst covering `frame`, or -1.
   int BurstIndexAt(int frame) const;
@@ -156,6 +182,14 @@ class FaultPlan {
   // 1.0 outside ramps, linear 1.0 -> peak over the ramp-up, peak through the
   // plateau, linear peak -> 1.0 over the cool-down.
   double ThermalScaleAt(int frame) const;
+  // Index of the GPU-denied interval covering `frame`, or -1.
+  int DenialIndexAt(int frame) const;
+  // Whether the GPU is denied outright at `frame` (no GPU kernel can run).
+  bool GpuDeniedAt(int frame) const;
+  // First frame past the denial covering `frame` (== `frame` when none): the
+  // scheduler caps GoF lengths here so GPU branches resume exactly when the
+  // interval ends.
+  int DenialEndAt(int frame) const;
   // Latency multiplier for the detector invocation anchored at `frame`.
   double DetectorOutlierScale(int frame) const;
   // Whether the detector invocation at `frame` fails on retry `attempt`.
@@ -168,6 +202,7 @@ class FaultPlan {
   bool active_ = false;
   std::vector<Burst> bursts_;
   std::vector<Ramp> ramps_;
+  std::vector<Denial> denials_;
 };
 
 // Robustness accounting carried per video and merged into the evaluation.
@@ -190,6 +225,11 @@ struct FaultAccounting {
   int recalibrations = 0;
   // accuracy-predictor re-anchorings triggered by content drift;
   int reanchors = 0;
+  // GoFs that ran inside a GPU-denied interval, split by how the runtime
+  // degraded: scheduled detection on a CPU-only branch vs. tracker-only
+  // coasting (denied_gofs counts both).
+  int denied_gofs = 0;
+  int cpu_fallback_gofs = 0;
   // full re-plans issued one GoF ahead of a forecast burst end (instead of
   // waiting for a clean GoF, as the reactive fallback does);
   int preemptive_replans = 0;
@@ -244,14 +284,15 @@ class FaultRuntime {
   // counts toward the current GoF's absorption accounting.
   void NoteServiceBurst(int burst_index, int frame);
   void NoteServiceRamp(int ramp_index, int frame);
+  void NoteServiceDenial(int denial_index, int frame);
 
   // Records a service-originated failure (e.g. FailureKind::kEvicted) into
   // this stream's report stream.
   void RecordServiceFault(FailureKind kind, int frame, bool recovered);
 
   // Starts the GoF anchored at `frame`: records a newly-entered contention
-  // burst or thermal ramp (once per interval) and resets the per-GoF fault
-  // count.
+  // burst, thermal ramp, or GPU-denied interval (once per interval) and
+  // resets the per-GoF fault count.
   void BeginGof(int frame);
 
   // Absolute contention level to run the GoF at (base + any active burst).
@@ -259,6 +300,15 @@ class FaultRuntime {
 
   // Multiplicative kernel-latency factor of the thermal drift at `frame`.
   double ThermalAt(int frame) const;
+
+  // Whether the GPU is denied for the GoF anchored at `frame`, and where the
+  // covering denial ends (plan queries, exposed for the protocols).
+  bool GpuDeniedAt(int frame) const { return plan_.GpuDeniedAt(frame); }
+  int DenialEndAt(int frame) const { return plan_.DenialEndAt(frame); }
+
+  // Books one GoF executed inside a GPU-denied interval: `cpu_fallback` marks
+  // scheduled CPU-branch detection, false marks tracker-only coasting.
+  void RecordDeniedGof(bool cpu_fallback);
 
   struct DetectorOutcome {
     // The detector never came back: skip it and coast this GoF on the tracker.
@@ -304,6 +354,7 @@ class FaultRuntime {
 
  private:
   void RecordFault(FailureKind kind, int frame);
+  void RecordDenialEntry(int frame);
 
   FaultPlan plan_;
   bool degrade_ = true;
@@ -314,6 +365,7 @@ class FaultRuntime {
   int gof_faults_ = 0;
   int last_burst_recorded_ = -1;
   int last_ramp_recorded_ = -1;
+  int last_denial_recorded_ = -1;
   bool fallback_ = false;
   bool in_episode_ = false;
   int episode_gofs_ = 0;

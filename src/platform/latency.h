@@ -54,7 +54,9 @@ class LatencyModel {
   double thermal_scale() const { return thermal_scale_; }
   void set_thermal_scale(double scale) { thermal_scale_ = scale; }
 
-  // Mean latency of one detector invocation (GPU-resident).
+  // Mean latency of one detector invocation. GPU-resident unless the config
+  // selects the CPU-only family, which prices through the CPU clock and is
+  // immune to GPU contention.
   double DetectorMs(const DetectorConfig& config) const;
 
   // Mean latency of one tracker step over `num_objects` tracks (CPU-resident).

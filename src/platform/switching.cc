@@ -33,10 +33,16 @@ double SwitchingCostModel::OfflineCostMs(const Branch& from, const Branch& to) c
   }
   double cost = 0.0;
   if (!same_detector) {
-    double dest = DetectorHeaviness(to.detector);
-    double source = DetectorHeaviness(from.detector);
-    cost += kBaseMs + kDestinationWeightMs * dest +
-            kSourceLightnessWeightMs * (1.0 - source);
+    if (to.detector.cpu) {
+      // The CPU-only fallback family is kept resident (a few MB, no GPU graph
+      // to bind): switching onto it is a pipeline handoff, not a re-bind.
+      cost += kBaseMs;
+    } else {
+      double dest = DetectorHeaviness(to.detector);
+      double source = DetectorHeaviness(from.detector);
+      cost += kBaseMs + kDestinationWeightMs * dest +
+              kSourceLightnessWeightMs * (1.0 - source);
+    }
   }
   if (!same_tracker) {
     cost += kTrackerChangeMs;
@@ -52,11 +58,16 @@ double SwitchingCostModel::OnlineCostMs(const Branch& from, const Branch& to,
   }
   double cost = mean * rng.LogNormal(0.0, 0.15);
   // Cold graph misses: rarer as the run warms up (paper Figure 5(b) outliers).
-  double outlier_prob =
-      kOutlierBaseProbability /
-      (1.0 + kOutlierDecayPerSwitch * static_cast<double>(switches_so_far));
-  if (rng.Bernoulli(outlier_prob)) {
-    cost += rng.Uniform(1000.0, 5000.0);
+  // A resident CPU-family destination has no GPU graph to miss on, so it
+  // never draws one (and consumes no extra RNG draw — branch spaces without
+  // CPU branches see an unchanged stream).
+  if (!to.detector.cpu) {
+    double outlier_prob =
+        kOutlierBaseProbability /
+        (1.0 + kOutlierDecayPerSwitch * static_cast<double>(switches_so_far));
+    if (rng.Bernoulli(outlier_prob)) {
+      cost += rng.Uniform(1000.0, 5000.0);
+    }
   }
   return cost;
 }

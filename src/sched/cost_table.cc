@@ -45,8 +45,16 @@ DecisionCostTable DecisionCostTable::Build(const TrainedModels& models,
     if (ctx.frames_remaining > 0) {
       effective_gof = std::min(effective_gof, ctx.frames_remaining);
     }
-    table.branch_ms_.push_back(models.latency.PredictFrameMs(
-        b, conservative, ctx.gpu_cal, ctx.cpu_cal, effective_gof));
+    // Availability mask: with the GPU denied, GPU-backed branches price as
+    // +inf — present in the table but infeasible and never cheapest while any
+    // finite-cost branch exists. inf + finite = inf keeps CostMs bit-identical
+    // to the reference FrameCostMs, which applies the same mask.
+    double branch_ms =
+        (!ctx.gpu_available && !branch.detector.cpu)
+            ? std::numeric_limits<double>::infinity()
+            : models.latency.PredictFrameMs(b, conservative, ctx.gpu_cal,
+                                            ctx.cpu_cal, effective_gof);
+    table.branch_ms_.push_back(branch_ms);
     table.switch_ms_.push_back(
         charge_switch ? models.switching->OfflineCostMs(*current, branch) : 0.0);
     table.gof_.push_back(static_cast<double>(effective_gof));

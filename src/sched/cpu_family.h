@@ -1,0 +1,54 @@
+// Extends a trained model bundle over the default branch space with the
+// YOLO-LITE-style CPU-only branch family (BranchSpace::WithCpuFamily) without
+// retraining.
+//
+// Retraining would fork the cached bundle per branch space and double the
+// offline pass for a family whose response surface is, by construction, a
+// scaled sibling of a GPU family the bundle already knows. Instead the
+// extension grafts: every CPU branch maps to its GPU reference (same shape,
+// nprop, GoF and tracker), its mean accuracy is CpuBranchAccuracyFactor(gof)
+// times the reference's, and each accuracy MLP's linear output layer gains one
+// row per CPU branch — a factor-scaled copy of the reference row — which makes
+// the extended net's prediction for a CPU branch exactly the factor times its
+// reference prediction (before the [0, 1] clamp), with every existing output
+// bit-identical. The latency predictor is re-profiled over the extended space
+// from the same analytic platform model, which reproduces the base entries
+// exactly and prices the CPU detectors through the CPU clock.
+#ifndef SRC_SCHED_CPU_FAMILY_H_
+#define SRC_SCHED_CPU_FAMILY_H_
+
+#include <algorithm>
+
+#include "src/sched/scheduler.h"
+
+namespace litereconfig {
+
+// Accuracy discount of the CPU-only family relative to its GPU reference
+// branch (YOLO-LITE's trade: real-time with no GPU at a usable accuracy
+// point, distinctly below the full model).
+inline constexpr double kCpuAccuracyFactor = 0.85;
+
+// Tracker extrapolation compounds the CPU anchor's extra localization noise:
+// every tracked frame inherits — and amplifies — the anchor's error, so a
+// long GoF loses more of the reference surface than the anchor alone does.
+// Without this term the graft inherits the GPU model's cross-GoF ranking and
+// the masked scheduler happily stretches one noisy CPU anchor across a
+// 50-frame GoF; with it, denial windows are served by short-GoF refresh.
+inline constexpr double kCpuDriftPerFrame = 0.006;
+inline constexpr double kCpuDriftFloor = 0.5;
+
+// Accuracy factor of a CPU branch with the given GoF length relative to its
+// GPU reference branch.
+inline double CpuBranchAccuracyFactor(int gof) {
+  double drift = 1.0 - kCpuDriftPerFrame * static_cast<double>(gof - 1);
+  return kCpuAccuracyFactor * std::max(kCpuDriftFloor, drift);
+}
+
+// Grafts the CPU family onto a bundle trained over BranchSpace::Default().
+// The returned bundle's space is BranchSpace::WithCpuFamily(); predictions
+// and costs for the original branches are bit-identical to `base`'s.
+TrainedModels ExtendWithCpuFamily(const TrainedModels& base);
+
+}  // namespace litereconfig
+
+#endif  // SRC_SCHED_CPU_FAMILY_H_

@@ -59,7 +59,10 @@ double LatencyPredictor::PredictFrameMs(size_t index,
   if (effective_gof > 0) {
     gof = std::min(gof, effective_gof);
   }
-  double det = detector_ms_[index] * gpu_cal;
+  // CPU-only detectors calibrate through the CPU clock: GPU contention (which
+  // gpu_cal tracks) does not touch them. The default space has no CPU
+  // branches, so the default path is byte-for-byte unchanged.
+  double det = detector_ms_[index] * (branch.detector.cpu ? cpu_cal : gpu_cal);
   if (!branch.has_tracker || gof <= 1) {
     return det;
   }

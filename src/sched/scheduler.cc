@@ -51,9 +51,14 @@ double LiteReconfigScheduler::FrameCostMs(size_t index,
   // violations routine at mid SLOs.
   std::vector<double> conservative = light;
   conservative[2] += 1.0 / 8.0;
-  double frame_ms = models_->latency.PredictFrameMs(index, conservative,
-                                                    ctx.gpu_cal, ctx.cpu_cal,
-                                                    effective_gof);
+  // Availability mask (same form as DecisionCostTable::Build): a GPU-backed
+  // branch under a denied GPU prices as +inf — enumerated, never feasible.
+  // inf + finite = inf keeps this expression bit-identical to the table's.
+  double frame_ms =
+      (!ctx.gpu_available && !branch.detector.cpu)
+          ? std::numeric_limits<double>::infinity()
+          : models_->latency.PredictFrameMs(index, conservative, ctx.gpu_cal,
+                                            ctx.cpu_cal, effective_gof);
   double switch_ms = 0.0;
   if (config_.use_switching_cost && ctx.current_branch.has_value() &&
       models_->switching.has_value()) {

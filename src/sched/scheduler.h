@@ -115,6 +115,12 @@ struct DecisionContext {
   // cannot spend GPU time the global allocator granted to another. 0 (the
   // default) means unconstrained — single-tenant behaviour is unchanged.
   double budget_ms = 0.0;
+  // GPU availability mask. False during a GPU-denied fault interval: every
+  // branch whose detector needs the GPU prices as +inf — infeasible but still
+  // enumerated, so menus, hysteresis, and the fast/reference identity are
+  // untouched — and only CPU-only branches (if the space has them) remain
+  // schedulable.
+  bool gpu_available = true;
 };
 
 // The margin-adjusted feasibility threshold both decision paths and the

@@ -30,7 +30,8 @@ struct ShareEstimate {
 // (zero-contention) detector time per capture interval — inflated time is
 // waiting, not occupancy.
 ShareEstimate CheapestShareAt(const TrainedModels& models, double slo_limit_ms,
-                              double level, double frame_interval_ms) {
+                              double level, double frame_interval_ms,
+                              bool gpu_available = true) {
   const BranchSpace& space = *models.space;
   LatencyModel probe(models.device, level);
   LatencyModel zero(models.device, 0.0);
@@ -38,12 +39,22 @@ ShareEstimate CheapestShareAt(const TrainedModels& models, double slo_limit_ms,
   double best = std::numeric_limits<double>::infinity();
   for (size_t b = 0; b < space.size(); ++b) {
     const Branch& branch = space.at(b);
+    // Admission prices GPU capacity. With the GPU up, only GPU-backed
+    // branches vouch for a candidate (a zero-share CPU branch must not admit
+    // a stream that will in practice run on the GPU); during a denied round
+    // only the CPU family — which is exactly what would run — counts, and it
+    // claims no occupancy.
+    if (gpu_available ? branch.detector.cpu : !branch.detector.cpu) {
+      continue;
+    }
     if (probe.BranchFrameMs(branch, kFallbackObjectCount) > slo_limit_ms) {
       continue;
     }
-    double share = zero.DetectorMs(branch.detector) /
-                   (static_cast<double>(std::max(branch.gof, 1)) *
-                    frame_interval_ms);
+    double share = branch.detector.cpu
+                       ? 0.0
+                       : zero.DetectorMs(branch.detector) /
+                             (static_cast<double>(std::max(branch.gof, 1)) *
+                              frame_interval_ms);
     share = std::clamp(share, 0.0, 1.0);
     if (share < best) {
       best = share;
@@ -125,9 +136,15 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
                                    config_.max_rounds);
   }
 
+  result.denials_active =
+      faults_active && config_.faults.spec.denials_per_100_frames > 0.0;
+
   GpuShareLedger ledger;
   std::vector<std::unique_ptr<StreamSession>> sessions;
   std::vector<size_t> session_outcome;  // aligned with `sessions`
+  // Whether each live session's last detector-running round was on the CPU
+  // family; the demote/restore events fire on the edges.
+  std::vector<char> session_cpu_mode;  // aligned with `sessions`
   std::vector<PendingStream> queue;
   auto emit = [&](const ServeEvent& event) {
     if (config_.observer) {
@@ -173,6 +190,11 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
     double thermal = faults_active ? device_plan.ThermalScaleAt(round) : 1.0;
     int burst_index = faults_active ? device_plan.BurstIndexAt(round) : -1;
     int ramp_index = faults_active ? device_plan.RampIndexAt(round) : -1;
+    // Correlated GPU denial: during a denied round no stream on the device
+    // can invoke a GPU kernel. Every menu, fit check, and session step this
+    // round prices from the CPU family (or coasts without one).
+    int denial_index = faults_active ? device_plan.DenialIndexAt(round) : -1;
+    bool gpu_available = denial_index < 0;
     // 1. Arrivals join the pending queue.
     while (next_arrival < requests.size() &&
            requests[order[next_arrival]].arrival_round <= round) {
@@ -197,13 +219,14 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       }
       double limit = pending.request.slo_ms * slo_margin;
       double interval = 1000.0 / pending.request.video.fps;
-      ShareEstimate alone = CheapestShareAt(*models_, limit, 0.0, interval);
+      ShareEstimate alone =
+          CheapestShareAt(*models_, limit, 0.0, interval, gpu_available);
       // Admission prices the candidate at the faulted level: a burst in
       // progress tightens the door exactly when the device has less to give.
       double level_if_admitted = std::min(
           kMaxEndogenousLevel, ledger.TotalShare() + burst_level);
-      ShareEstimate admitted_est =
-          CheapestShareAt(*models_, limit, level_if_admitted, interval);
+      ShareEstimate admitted_est = CheapestShareAt(
+          *models_, limit, level_if_admitted, interval, gpu_available);
       double candidate_share = admitted_est.feasible ? admitted_est.share
                                                      : alone.share;
       bool keeps_feasible = admitted_est.feasible;
@@ -236,6 +259,7 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
           (void)index;
           sessions.push_back(std::move(session));
           session_outcome.push_back(pending.outcome);
+          session_cpu_mode.push_back(0);
           outcome.admit_round = round;
           outcome.rounds_queued = pending.rounds_queued;
           ++result.admitted;
@@ -284,10 +308,13 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
           std::min(kMaxEndogenousLevel, ledger.LevelFor(i) + burst_level);
       demands[i].slo_ms = sessions[i]->request().slo_ms;
       demands[i].slo_class = sessions[i]->effective_class();
-      demands[i].menu = sessions[i]->Menu(levels[i], thermal);
+      demands[i].menu = sessions[i]->Menu(levels[i], thermal, gpu_available);
       frame_interval = std::min(frame_interval, sessions[i]->FrameIntervalMs());
     }
     std::vector<bool> coast(active, false);
+    // Pressure-ladder demotions onto the CPU family for this round (distinct
+    // from the device-wide denial, which masks every stream at once).
+    std::vector<bool> cpu_only(active, false);
     if (degrade) {
       // 3b. Pressure ladder. The fit check asks whether every stream's
       // cheapest affordable round — coasted streams at their tracker-only
@@ -305,7 +332,19 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
           return demands[i].menu.front().frame_ms;
         }
         // Nothing SLO-feasible this round: the stream still runs its
-        // cheapest branch, so the fit check must still charge for it.
+        // cheapest *available* branch (the CPU family under a denial or a
+        // demotion, a tracker-only coast when even that is absent), so the
+        // fit check must still charge for it.
+        bool available = gpu_available && !cpu_only[i];
+        if (!available) {
+          if (sessions[i]->has_cpu_family()) {
+            return sessions[i]->CheapestFrameMs(levels[i], thermal,
+                                                /*gpu_available=*/false);
+          }
+          if (sessions[i]->CanCoast()) {
+            return sessions[i]->CoastFrameMs(thermal);
+          }
+        }
         return sessions[i]->CheapestFrameMs(levels[i], thermal);
       };
       auto total_cost = [&]() {
@@ -360,6 +399,37 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
         return pick;
       };
       while (active >= 2 && total_cost() > capacity) {
+        // Rung 0: demote the newest best-effort stream onto the CPU-only
+        // family for the round — detection continues (unlike coasting) and
+        // the GPU is freed — but only when the CPU family is actually
+        // cheaper than what the stream would otherwise charge.
+        size_t demotee = active;
+        for (size_t i = 0; i < active; ++i) {
+          if (sessions[i]->effective_class() != SloClass::kBestEffort ||
+              !sessions[i]->has_cpu_family() || cpu_only[i] || coast[i]) {
+            continue;
+          }
+          double masked = sessions[i]->CheapestFrameMs(levels[i], thermal,
+                                                       /*gpu_available=*/false);
+          if (masked >= stream_cost(i)) {
+            continue;
+          }
+          if (demotee == active ||
+              sessions[i]->request().arrival_round >
+                  sessions[demotee]->request().arrival_round ||
+              (sessions[i]->request().arrival_round ==
+                   sessions[demotee]->request().arrival_round &&
+               sessions[i]->request().stream_id >
+                   sessions[demotee]->request().stream_id)) {
+            demotee = i;
+          }
+        }
+        if (demotee < active) {
+          cpu_only[demotee] = true;
+          demands[demotee].menu = sessions[demotee]->Menu(
+              levels[demotee], thermal, /*gpu_available=*/false);
+          continue;
+        }
         // Rung 1: coast a best-effort stream tracker-only for the round.
         size_t victim = latest(SloClass::kBestEffort, /*require_coastable=*/true,
                                /*skip_coasted=*/true);
@@ -409,9 +479,11 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
         long v = static_cast<long>(victim);
         sessions.erase(sessions.begin() + v);
         session_outcome.erase(session_outcome.begin() + v);
+        session_cpu_mode.erase(session_cpu_mode.begin() + v);
         levels.erase(levels.begin() + static_cast<long>(victim));
         demands.erase(demands.begin() + static_cast<long>(victim));
         coast.erase(coast.begin() + static_cast<long>(victim));
+        cpu_only.erase(cpu_only.begin() + static_cast<long>(victim));
         --active;
       }
       if (sessions.empty()) {
@@ -463,6 +535,8 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
           conditions.coast = coast[i];
           conditions.burst_index = burst_index;
           conditions.ramp_index = ramp_index;
+          conditions.gpu_available = gpu_available && !cpu_only[i];
+          conditions.denial_index = denial_index;
           reports[i] = sessions[i]->StepGof(conditions);
         },
         ResolveThreadCount(config_.threads));
@@ -477,6 +551,21 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
         fault_event.fault = failure.kind;
         fault_event.fault_frame = failure.frame;
         emit(fault_event);
+      }
+      // Demote/restore edges: compare the family this round's detector ran
+      // on against the stream's last detector-running round. Coasted and
+      // tail rounds run no detector and leave the mode untouched.
+      bool ran_detector = !reports[i].coasted && !reports[i].tail &&
+                          reports[i].gof_length > 0;
+      if (ran_detector &&
+          reports[i].cpu_fallback != (session_cpu_mode[i] != 0)) {
+        session_cpu_mode[i] = reports[i].cpu_fallback ? 1 : 0;
+        ServeEvent edge;
+        edge.kind = reports[i].cpu_fallback ? ServeEvent::Kind::kDemote
+                                            : ServeEvent::Kind::kRestore;
+        edge.stream_id = sessions[i]->request().stream_id;
+        edge.round = round;
+        emit(edge);
       }
       ServeEvent event;
       event.kind = ServeEvent::Kind::kGof;
@@ -500,6 +589,7 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       ledger.RemoveStream(i);
       sessions.erase(sessions.begin() + static_cast<long>(i));
       session_outcome.erase(session_outcome.begin() + static_cast<long>(i));
+      session_cpu_mode.erase(session_cpu_mode.begin() + static_cast<long>(i));
     }
     ++round;
   }
@@ -535,6 +625,10 @@ ServeResult StreamingService::Run(const std::vector<StreamRequest>& requests) {
       if (outcome.evicted) {
         ++result.evictions;
         ++result.evictions_by_class[cls];
+      }
+      if (result.denials_active) {
+        result.denied_rounds += outcome.robustness.denied_gofs;
+        result.cpu_fallback_gofs += outcome.robustness.cpu_fallback_gofs;
       }
     }
   }

@@ -50,6 +50,8 @@ struct ServeEvent {
     kFault = 5,        // a fault was injected into a stream (kind in fault)
     kRenegotiate = 6,  // SLO class changed (demotion or restore; new_class)
     kEvict = 7,        // the pressure ladder shed the stream
+    kDemote = 8,       // stream moved onto the CPU-only branch family
+    kRestore = 9,      // stream resumed GPU-backed branches
   };
   Kind kind = Kind::kGof;
   uint64_t stream_id = 0;
@@ -137,6 +139,11 @@ struct ServeResult {
   int evictions = 0;
   int coasted_rounds = 0;
   std::array<int, kNumSloClasses> evictions_by_class = {};
+  // GPU-denial aggregates (all zero — and absent from the serialized
+  // evaluation — unless the fault spec carries denial intervals).
+  bool denials_active = false;
+  int denied_rounds = 0;
+  int cpu_fallback_gofs = 0;
 };
 
 class StreamingService {

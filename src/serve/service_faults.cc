@@ -24,6 +24,8 @@ FaultSpec RoundScaled(const FaultSpec& spec) {
       std::max(1, scaled.ramp_plateau_frames / kNominalGofFrames);
   scaled.ramp_down_frames =
       std::max(1, scaled.ramp_down_frames / kNominalGofFrames);
+  scaled.denials_per_100_frames *= per_round;
+  scaled.denial_frames = std::max(1, scaled.denial_frames / kNominalGofFrames);
   return scaled;
 }
 

@@ -59,6 +59,11 @@ class ServiceFaultPlan {
   double ThermalScaleAt(int round) const { return plan_.ThermalScaleAt(round); }
   int RampIndexAt(int round) const { return plan_.RampIndexAt(round); }
 
+  // Correlated GPU denial: during a denied round no stream on the device can
+  // run a GPU kernel (rescaled to round units like the other intervals).
+  bool GpuDeniedAt(int round) const { return plan_.GpuDeniedAt(round); }
+  int DenialIndexAt(int round) const { return plan_.DenialIndexAt(round); }
+
  private:
   FaultPlan plan_;
 };

@@ -64,6 +64,12 @@ StreamSession::StreamSession(const TrainedModels* models,
   // Serving mode from the start: the co-located streams are the contention;
   // any simulated contention write from here on is dropped, not stacked.
   platform_.SetEndogenousContention(0.0);
+  for (const Branch& branch : models_->space->branches()) {
+    if (branch.detector.cpu) {
+      has_cpu_family_ = true;
+      break;
+    }
+  }
 }
 
 double StreamSession::SloLimit() const {
@@ -87,7 +93,8 @@ bool StreamSession::FeasibleAt(double level) const {
 }
 
 std::vector<BranchOption> StreamSession::Menu(double level,
-                                              double thermal_scale) const {
+                                              double thermal_scale,
+                                              bool gpu_available) const {
   DecisionContext ctx;
   ctx.video = &video_;
   ctx.frame = t_;
@@ -98,18 +105,22 @@ std::vector<BranchOption> StreamSession::Menu(double level,
   // Thermal drift slows the whole SoC, so it inflates both calibrations.
   ctx.gpu_cal = AnalyticGpuCal(level) * thermal_scale;
   ctx.cpu_cal = thermal_scale;
+  ctx.gpu_available = gpu_available;
   std::vector<double> light = ComputeLightFeatures(
       video_.spec().width, video_.spec().height, anchor_);
   return BuildBranchMenu(*models_, scheduler_.config(), ctx, light);
 }
 
-double StreamSession::CheapestFrameMs(double level,
-                                      double thermal_scale) const {
+double StreamSession::CheapestFrameMs(double level, double thermal_scale,
+                                      bool gpu_available) const {
   const BranchSpace& space = *models_->space;
   LatencyModel probe(models_->device, level);
   probe.set_thermal_scale(thermal_scale);
   double best = std::numeric_limits<double>::infinity();
   for (size_t b = 0; b < space.size(); ++b) {
+    if (!gpu_available && !space.at(b).detector.cpu) {
+      continue;
+    }
     best = std::min(best,
                     probe.BranchFrameMs(space.at(b), kFallbackObjectCount));
   }
@@ -225,6 +236,13 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
   // interval indices in, and the session books them like its own.
   faults_.NoteServiceBurst(conditions.burst_index, t_);
   faults_.NoteServiceRamp(conditions.ramp_index, t_);
+  faults_.NoteServiceDenial(conditions.denial_index, t_);
+  // The GPU can be unavailable to this session for two reasons: a device-wide
+  // denial interval (denial_index >= 0, booked into the denial accounting) or
+  // a pressure-ladder demotion onto the CPU family (not a fault — only the
+  // demote/restore events record it).
+  const bool denied = !conditions.gpu_available;
+  const bool device_denied = conditions.denial_index >= 0;
 
   if (!preheated_) {
     // Preheat probe (paper footnote 6): one cheap detector invocation on the
@@ -247,14 +265,40 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
       return report;  // nothing trackable remained
     }
     FinishGof(report, fault_mark, /*coasted=*/true);
+    if (device_denied) {
+      faults_.RecordDeniedGof(/*cpu_fallback=*/false);
+    }
     return report;
   }
+
+  if (denied && !has_cpu_family_ && CanCoast()) {
+    // Device-wide denial and no CPU family in the space: nothing is
+    // schedulable, so the only degradation left is tracker-only coasting —
+    // the pre-CPU-family behaviour.
+    report.frame = t_;
+    CoastGof(report, 0.0);
+    if (report.done && report.gof_length == 0) {
+      return report;
+    }
+    FinishGof(report, fault_mark, /*coasted=*/true);
+    if (device_denied) {
+      faults_.RecordDeniedGof(/*cpu_fallback=*/false);
+    }
+    return report;
+  }
+  // Mask GPU branches only when the demotion target exists; a stream with no
+  // prior outputs (nothing to coast from) runs its first GoF regardless.
+  const bool mask_gpu = denied && has_cpu_family_;
 
   SchedulerDecision decision;
   if (forced_) {
     // Per-class watchdog fallback: ride the cheapest branch (priced at this
-    // round's level) until a clean GoF clears the streak.
+    // round's level) until a clean GoF clears the streak. During a denial the
+    // cheapest available branch is the cheapest CPU branch.
     decision.branch_index = CheapestBranchIndex(space.size(), [&](size_t b) {
+      if (mask_gpu && !space.at(b).detector.cpu) {
+        return std::numeric_limits<double>::infinity();
+      }
       return platform_.BranchFrameMs(space.at(b), kFallbackObjectCount);
     });
     report.forced = true;
@@ -270,6 +314,7 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
     ctx.gpu_cal = gpu_cal;
     ctx.cpu_cal = conditions.thermal_scale;
     ctx.budget_ms = conditions.budget_ms;
+    ctx.gpu_available = !mask_gpu;
     decision = scheduler_.Decide(ctx);
   }
   report.frame = t_;
@@ -321,6 +366,9 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
         return report;
       }
       FinishGof(report, fault_mark, /*coasted=*/true);
+      if (device_denied) {
+        faults_.RecordDeniedGof(/*cpu_fallback=*/false);
+      }
       return report;
     }
     double switch_sample = 0.0;
@@ -355,6 +403,7 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
       gof_total += decision.scheduler_cost_ms;
     }
     report.branch = decision.branch_index;
+    report.cpu_fallback = branch.detector.cpu;
     report.gof_length = static_cast<int>(len);
     report.frame_ms = gof_total / len;
     report.scheduler_ms = decision.scheduler_cost_ms;
@@ -364,11 +413,14 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
     report.missed = report.frame_ms > request_.slo_ms;
     // Posted occupancy: the profiled (zero-contention) detector time per
     // capture interval. Inflated time is waiting, not occupancy, so the share
-    // uses the uncalibrated profile.
-    report.gpu_share = std::clamp(
-        models_->latency.DetectorMs(decision.branch_index) /
-            (len * FrameIntervalMs()),
-        0.0, 1.0);
+    // uses the uncalibrated profile. A CPU-family detector leaves the GPU
+    // untouched — it posts no occupancy at all.
+    report.gpu_share =
+        branch.detector.cpu
+            ? 0.0
+            : std::clamp(models_->latency.DetectorMs(decision.branch_index) /
+                             (len * FrameIntervalMs()),
+                         0.0, 1.0);
     anchor_ = anchor_dets;
     std::vector<DetectionList> emitted;
     emitted.reserve(tracked_frames.size() + 1);
@@ -381,6 +433,9 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
   }
 
   FinishGof(report, fault_mark, /*coasted=*/false);
+  if (device_denied) {
+    faults_.RecordDeniedGof(report.cpu_fallback);
+  }
   return report;
 }
 

@@ -59,6 +59,9 @@ struct GofReport {
   // Tracker-only GoF because the detector was down, the capture dropped, or
   // the control plane shed this stream's detector load for the round.
   bool coasted = false;
+  // The round ran a CPU-family branch (GPU-denied demotion); the service
+  // emits demote/restore events on the edges of this flag.
+  bool cpu_fallback = false;
   // Faults newly recorded during this step, in injection order; the service
   // emits them as trace events in the sequential merge.
   std::vector<FailureReport> faults;
@@ -82,6 +85,10 @@ struct StepConditions {
   // into the session's fault accounting once per interval.
   int burst_index = -1;
   int ramp_index = -1;
+  // Correlated GPU denial: false during a device-wide denied round. Sessions
+  // demote to the CPU-only family when the space has one, else coast.
+  bool gpu_available = true;
+  int denial_index = -1;
 };
 
 class StreamSession {
@@ -107,15 +114,24 @@ class StreamSession {
   // to check that a candidate leaves every existing stream servable.
   bool FeasibleAt(double level) const;
 
-  // The stream's Pareto (cost, accuracy) menu at the given level and thermal
-  // factor — the demand curve the global allocator trades along. Consumes no
-  // RNG.
-  std::vector<BranchOption> Menu(double level, double thermal_scale = 1.0) const;
+  // The stream's Pareto (cost, accuracy) menu at the given level, thermal
+  // factor, and GPU availability — the demand curve the global allocator
+  // trades along. With the GPU denied, GPU-backed branches price +inf and
+  // drop off the frontier; only the CPU family (if present) survives.
+  // Consumes no RNG.
+  std::vector<BranchOption> Menu(double level, double thermal_scale = 1.0,
+                                 bool gpu_available = true) const;
 
   // Mean per-frame cost of the cheapest branch at the given device state —
   // what the stream costs if it runs at all. The pressure ladder's fit check
-  // prices empty-menu streams with this.
-  double CheapestFrameMs(double level, double thermal_scale) const;
+  // prices empty-menu streams with this. +inf when the GPU is denied and the
+  // space has no CPU family.
+  double CheapestFrameMs(double level, double thermal_scale,
+                         bool gpu_available = true) const;
+
+  // Whether the session's branch space carries the CPU-only family (the
+  // denied-round demotion target).
+  bool has_cpu_family() const { return has_cpu_family_; }
 
   // Mean per-frame cost of a tracker-only (coasted) round at the given
   // thermal factor. Zero GPU; this is what a coasted stream still charges.
@@ -196,6 +212,7 @@ class StreamSession {
   std::optional<size_t> current_;
   int t_ = 0;
   bool preheated_ = false;
+  bool has_cpu_family_ = false;
   int switch_count_ = 0;
   // Per-class watchdog: consecutive deadline misses; at the class tolerance
   // the session is forced onto the cheapest branch until a clean GoF.

@@ -206,6 +206,84 @@ TEST(ServeFaultsTest, ResultsAreIdenticalAtAnyThreadCountUnderSevereChaos) {
   }
 }
 
+// --- Device-wide GPU denial ---
+
+TEST(ServiceFaultPlanTest, RoundScaledDenialsFireAndAreConsistent) {
+  ServiceFaultPlan plan(*FaultSpec::FromName("denied_severe"), 7, 400);
+  ASSERT_TRUE(plan.active());
+  bool denied_round = false;
+  for (int round = 0; round < 400; ++round) {
+    int index = plan.DenialIndexAt(round);
+    EXPECT_EQ(plan.GpuDeniedAt(round), index >= 0) << round;
+    denied_round = denied_round || index >= 0;
+  }
+  EXPECT_TRUE(denied_round) << "denied_severe never denied a round";
+}
+
+TEST(ServeFaultsTest, DeniedRoundsAreServedByTheCpuFamily) {
+  ArrivalSpec spec = StormSpec();
+  ServeConfig config = ChaosConfig(*FaultSpec::FromName("denied_severe"), 7);
+  ServeEval family = ServeRunner::Run(TinyCpuFamilyModels(), spec, config);
+  ServeEval coast = ServeRunner::Run(TinyModels(), spec, config);
+  const ServeResult& f = family.result;
+  const ServeResult& c = coast.result;
+  ASSERT_TRUE(f.denials_active);
+  ASSERT_GT(f.denied_rounds, 0);
+  ASSERT_GT(c.denied_rounds, 0);
+  // Scheduled CPU detection replaces coasting exactly when the family exists.
+  EXPECT_GT(f.cpu_fallback_gofs, 0);
+  EXPECT_EQ(c.cpu_fallback_gofs, 0);
+  // Without a CPU family nothing is schedulable during device-wide denial, so
+  // admission rejects the storm's arrivals; the family keeps every stream
+  // alive. Whole-run mean accuracy is therefore not comparable across the two
+  // runs (coast's mean covers a fraction of the load) — the gates are
+  // availability and accuracy-weighted goodput.
+  EXPECT_EQ(f.rejected, 0);
+  EXPECT_GT(c.rejected, 0);
+  EXPECT_GT(f.total_frames, c.total_frames);
+  EXPECT_GT(f.mean_accuracy * static_cast<double>(f.total_frames),
+            c.mean_accuracy * static_cast<double>(c.total_frames));
+  // Demotion transitions (GPU->CPU switch + the first CPU anchor) may cost a
+  // handful of deadline misses; they must stay a rounding error.
+  EXPECT_LT(static_cast<double>(f.total_misses),
+            0.01 * static_cast<double>(f.total_frames));
+  // The JSON surface grows the denial fields only on denial schedules.
+  std::string json = ServeEvalJson(family);
+  EXPECT_NE(json.find("\"denied_rounds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_fallback_gofs\":"), std::string::npos);
+}
+
+TEST(ServeFaultsTest, DenialResultsAreIdenticalAtAnyThreadCount) {
+  ArrivalSpec spec = StormSpec();
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    ServeConfig config = ChaosConfig(*FaultSpec::FromName("denied_severe"), 7);
+    config.threads = threads;
+    ServeEval eval = ServeRunner::Run(TinyCpuFamilyModels(), spec, config);
+    std::string json = ServeEvalJson(eval);
+    if (reference.empty()) {
+      reference = json;
+      EXPECT_GT(eval.result.denied_rounds, 0);
+    } else {
+      EXPECT_EQ(json, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ServeFaultsTest, NonDenialSchedulesEmitNoDenialFields) {
+  // Pre-existing fault presets must keep their JSON byte layout: the denial
+  // fields are gated on the spec carrying denial intervals, not on
+  // faults_active.
+  ArrivalSpec spec = StormSpec();
+  ServeConfig config = ChaosConfig(FaultSpec::Severe(), 7);
+  ServeEval eval = ServeRunner::Run(TinyModels(), spec, config);
+  ASSERT_TRUE(eval.result.faults_active);
+  EXPECT_FALSE(eval.result.denials_active);
+  std::string json = ServeEvalJson(eval);
+  EXPECT_EQ(json.find("\"denied_rounds\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cpu_fallback_gofs\""), std::string::npos);
+}
+
 // --- The fault path is inert when disabled ---
 
 TEST(ServeFaultsTest, NoFaultRunIsBitIdenticalToTheFaultFreeService) {

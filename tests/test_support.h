@@ -4,6 +4,7 @@
 #define TESTS_TEST_SUPPORT_H_
 
 #include "src/pipeline/trainer.h"
+#include "src/sched/cpu_family.h"
 #include "src/video/dataset.h"
 
 namespace litereconfig {
@@ -11,6 +12,14 @@ namespace litereconfig {
 inline const TrainedModels& TinyModels() {
   static const TrainedModels* models = new TrainedModels(
       OfflineTrainer::Train(TrainConfig::Tiny(), BranchSpace::Default()));
+  return *models;
+}
+
+// The tiny bundle grafted onto the CPU-extended branch space (the denial
+// fallback family) — pure arithmetic over TinyModels, no second offline pass.
+inline const TrainedModels& TinyCpuFamilyModels() {
+  static const TrainedModels* models =
+      new TrainedModels(ExtendWithCpuFamily(TinyModels()));
   return *models;
 }
 

@@ -53,6 +53,10 @@ int Run(int argc, char** argv) {
                "1 = predictive robustness (contention forecasting, headroom-"
                "first planning under burst pressure, pre-emptive re-plans, "
                "drift-triggered recalibration); requires --degrade=1");
+  flags.Define("cpu_family", "0",
+               "1 = extend the branch space with the CPU-only detector family "
+               "(the scheduler's demotion target during gpu_denied intervals); "
+               "LiteReconfig variants only");
   flags.Define("json", "", "write the full evaluation result as one-line JSON here");
   if (!flags.Parse(argc, argv)) {
     flags.PrintHelp(flags.help_requested() ? std::cout : std::cerr);
@@ -85,7 +89,9 @@ int Run(int argc, char** argv) {
     } else if (name == "maxcontent-mobilenet") {
       config = LiteReconfigProtocol::MaxContentConfig(FeatureKind::kMobileNetV2);
     }
-    auto lrc = std::make_unique<LiteReconfigProtocol>(&wb.models(), config, name);
+    const TrainedModels& models =
+        flags.GetInt("cpu_family") != 0 ? wb.cpu_family_models() : wb.models();
+    auto lrc = std::make_unique<LiteReconfigProtocol>(&models, config, name);
     if (!flags.GetString("trace").empty()) {
       trace_file.open(flags.GetString("trace"));
       if (!trace_file) {

@@ -45,8 +45,12 @@ int Run(int argc, char** argv) {
                "intervals + per-stream substreams)");
   flags.Define("degrade", "1",
                "1 = graceful degradation (per-stream retry/coast plus the "
-               "pressure ladder: coast, renegotiate, evict); 0 = naive "
-               "blocking retries and no load shedding");
+               "pressure ladder: demote to the CPU family, coast, renegotiate, "
+               "evict); 0 = naive blocking retries and no load shedding");
+  flags.Define("cpu_family", "0",
+               "1 = extend the branch space with the CPU-only detector family "
+               "so denied rounds run scheduled CPU detection instead of "
+               "tracker-only coasting");
   flags.Define("json", "", "write the serving result as one-line JSON here");
   flags.Define("trace", "", "write the per-stream decision trace (JSONL) here");
   if (!flags.Parse(argc, argv)) {
@@ -99,7 +103,9 @@ int Run(int argc, char** argv) {
     trace = std::make_unique<TraceWriter>(trace_file);
   }
 
-  ServeEval eval = ServeRunner::Run(wb.models(), spec, config, trace.get());
+  const TrainedModels& models =
+      flags.GetInt("cpu_family") != 0 ? wb.cpu_family_models() : wb.models();
+  ServeEval eval = ServeRunner::Run(models, spec, config, trace.get());
   const ServeResult& result = eval.result;
 
   if (trace != nullptr) {

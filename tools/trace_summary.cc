@@ -68,6 +68,12 @@ int Run(int argc, char** argv) {
   // Serving pressure-ladder events (multi-tenant traces only).
   int renegotiations = 0;
   int evictions = 0;
+  // GPU-denial accounting: family demotion/restoration edges plus the share of
+  // decisions served by the CPU-only family (branch ids read "c<shape>_...").
+  int demotions = 0;
+  int restorations = 0;
+  int cpu_decisions = 0;
+  int cpu_frames = 0;
   uint64_t episode_video = 0;
   bool in_episode = false;
   for (const DecisionRecord& record : records) {
@@ -96,6 +102,14 @@ int Run(int argc, char** argv) {
       ++evictions;
       continue;
     }
+    if (record.event == "demote") {
+      ++demotions;
+      continue;
+    }
+    if (record.event == "restore") {
+      ++restorations;
+      continue;
+    }
     if (in_episode && record.video_seed != episode_video) {
       in_episode = false;
     }
@@ -111,6 +125,10 @@ int Run(int argc, char** argv) {
       in_episode = false;
     }
     ++decisions;
+    if (!record.branch_id.empty() && record.branch_id[0] == 'c') {
+      ++cpu_decisions;
+      cpu_frames += record.gof_length;
+    }
     branch_counts[record.branch_id] += record.gof_length;
     for (const std::string& feature : record.features) {
       ++feature_counts[feature];
@@ -181,6 +199,27 @@ int Run(int argc, char** argv) {
     if (renegotiations > 0 || evictions > 0) {
       std::cout << "  SLO renegotiations: " << renegotiations
                 << ", evictions: " << evictions << "\n";
+    }
+  }
+  // Denial report: windows where every GPU kernel was unavailable, and how
+  // they were served. Demote/restore edges bracket CPU-fallback episodes; a
+  // window with no CPU family in the branch space falls back to coasting,
+  // which writes no decision records.
+  auto denied_it = fault_counts.find("gpu_denied");
+  int denial_windows = denied_it != fault_counts.end() ? denied_it->second : 0;
+  if (denial_windows > 0 || demotions > 0 || restorations > 0 ||
+      cpu_decisions > 0) {
+    std::cout << "\nGPU denial:\n"
+              << "  denial windows entered: " << denial_windows << "\n"
+              << "  family demotions: " << demotions
+              << ", restorations: " << restorations << "\n"
+              << "  CPU-family decisions: " << cpu_decisions << " ("
+              << cpu_frames << " frames, "
+              << FmtDouble(100.0 * cpu_frames / std::max(frames, 1), 1)
+              << "% of traced frames)\n";
+    if (demotions == 0 && denial_windows > 0) {
+      std::cout << "  all denial windows coasted (no CPU family in the branch "
+                   "space)\n";
     }
   }
   return 0;
