@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/pipeline/serve_runner.h"
+#include "src/serve/serve_runner.h"
 
 namespace litereconfig {
 namespace {

@@ -61,6 +61,7 @@ double SwitchingCostModel::OnlineCostMs(const Branch& from, const Branch& to,
   // A resident CPU-family destination has no GPU graph to miss on, so it
   // never draws one (and consumes no extra RNG draw — branch spaces without
   // CPU branches see an unchanged stream).
+  // detlint: stream-stable(rng is a serially-stepped per-session stream and the (from,to) pair comes from the deterministic decision trace, so equal seeds+config replay equal draws)
   if (!to.detector.cpu) {
     double outlier_prob =
         kOutlierBaseProbability /

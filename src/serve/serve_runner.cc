@@ -1,4 +1,4 @@
-#include "src/pipeline/serve_runner.h"
+#include "src/serve/serve_runner.h"
 
 #include <sstream>
 

@@ -3,8 +3,8 @@
 // single-tenant runner uses — per-stream EvalResults, a one-line JSON record
 // (the byte-diffable artifact of the serve-determinism CI job), and the
 // decision-trace format (TraceWriter).
-#ifndef SRC_PIPELINE_SERVE_RUNNER_H_
-#define SRC_PIPELINE_SERVE_RUNNER_H_
+#ifndef SRC_SERVE_SERVE_RUNNER_H_
+#define SRC_SERVE_SERVE_RUNNER_H_
 
 #include <string>
 #include <vector>
@@ -43,4 +43,4 @@ std::string ServeEvalJson(const ServeEval& eval);
 
 }  // namespace litereconfig
 
-#endif  // SRC_PIPELINE_SERVE_RUNNER_H_
+#endif  // SRC_SERVE_SERVE_RUNNER_H_

@@ -323,6 +323,7 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
     ++infeasible_gofs_;
   }
 
+  // detlint: stream-stable(the decision trace is a pure function of seeds+config and rng_ is session-private, stepped serially per GoF, so the tail branch replays identical draw counts)
   if (decision.infeasible && current_.has_value() &&
       video_.frame_count() - t_ <= kTailFrames && t_ > 0) {
     // Tail continuation: too few frames remain to amortize another detector
@@ -352,7 +353,7 @@ GofReport StreamSession::StepGof(const StepConditions& conditions) {
     report.missed = report.frame_ms > request_.slo_ms;
     anchor_ = tail.back();
     EmitFrames(std::move(tail));
-  } else {
+  } else {  // detlint: stream-stable(branch choice, switch decision, and tracker use all derive from the deterministic per-session trace; rng_ never crosses sessions or threads)
     const Branch& branch = space.at(decision.branch_index);
     // Resolve the GoF's detector invocation against the fault plan before
     // committing to a switch: a coasted GoF stays on the current branch.

@@ -24,7 +24,7 @@ struct RegionGuard {
   ~RegionGuard() { tls_in_parallel_region = saved; }
 };
 
-// detlint: allow(mutable-global) process-wide default, set once by flag wiring
+// Process-wide default, set once by flag wiring before any pool exists.
 std::atomic<int> g_default_threads{0};
 
 }  // namespace
@@ -34,7 +34,9 @@ std::atomic<int> g_default_threads{0};
 // already drained — still touches valid memory.
 struct ThreadPool::Job {
   // body and n are set once before the job is shared; only read afterwards.
+  // detlint: allow(guarded-by-coverage) written before publication, immutable after
   std::function<void(size_t)> body;
+  // detlint: allow(guarded-by-coverage) written before publication, immutable after
   size_t n = 0;
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};
@@ -72,6 +74,7 @@ struct ThreadPool::Job {
 // stealing Join(); `done` + `error` publish completion to the joiner.
 struct DeferredTask::State {
   // Set once before the state is shared; only read afterwards.
+  // detlint: allow(guarded-by-coverage) written before publication, immutable after
   std::function<void()> fn;
 
   Mutex mu;

@@ -110,6 +110,7 @@ class ThreadPool {
 
   void WorkerLoop();
 
+  // detlint: allow(guarded-by-coverage) written only in the constructor and joined in the destructor, both single-threaded
   std::vector<std::thread> workers_;
   Mutex mu_;
   CondVar cv_;

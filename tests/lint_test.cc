@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tools/lint/detlint_lib.h"
+#include "tools/lint/fix.h"
 
 namespace litereconfig {
 namespace {
@@ -351,6 +352,377 @@ TEST(DetlintTreeTest, WalksOnlySourcesAndReportsRelativePaths) {
   EXPECT_EQ(report.violations[0].file, "src/dirty.cc");
   EXPECT_EQ(report.violations[0].rule, "banned-random");
   fs::remove_all(root);
+}
+
+
+// --- structural passes (LintProjectSources over in-memory fixtures) ------
+
+// Runs the rng/lock passes (legacy on, layer off, so escape hygiene stays
+// quiet) over in-memory sources.
+ProjectReport LintPasses(std::vector<SourceFile> files) {
+  ProjectOptions options;
+  options.layer = false;
+  return LintProjectSources(std::move(files), options);
+}
+
+// Runs every pass including escape hygiene; `layers` is the layers.txt text.
+ProjectReport LintAll(std::vector<SourceFile> files, const std::string& layers) {
+  ProjectOptions options;
+  options.layers_text = layers;
+  options.has_layers = true;
+  return LintProjectSources(std::move(files), options);
+}
+
+TEST(RngPassTest, ParallelCaptureFlagged) {
+  const std::string content =
+      "void Run(ThreadPool& pool, uint64_t seed) {\n"
+      "  Pcg32 rng(HashKeys({seed, 1}));\n"
+      "  pool.ParallelFor(8, [&](size_t i) {\n"
+      "    double x = rng.NextDouble();\n"
+      "    (void)x;\n"
+      "  });\n"
+      "}\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_TRUE(HasRule(report.violations, "rng-parallel-capture"));
+}
+
+TEST(RngPassTest, ParallelBodySubstreamIsClean) {
+  const std::string content =
+      "void Run(ThreadPool& pool, uint64_t seed) {\n"
+      "  pool.ParallelFor(8, [&](size_t i) {\n"
+      "    Pcg32 rng(HashKeys({seed, i}));\n"
+      "    double x = rng.NextDouble();\n"
+      "    (void)x;\n"
+      "  });\n"
+      "}\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_FALSE(HasRule(report.violations, "rng-parallel-capture"));
+}
+
+TEST(RngPassTest, ConditionalDrawOnRefParamFlagged) {
+  const std::string content =
+      "double Cost(bool outlier, Pcg32& rng) {\n"
+      "  double cost = 0.0;\n"
+      "  if (outlier) {\n"
+      "    cost += rng.Uniform(1.0, 5.0);\n"
+      "  }\n"
+      "  return cost;\n"
+      "}\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  ASSERT_TRUE(HasRule(report.violations, "rng-conditional-draw"));
+  EXPECT_EQ(report.violations[0].line, 4);
+}
+
+TEST(RngPassTest, StreamStableOnGuardHeaderBlessesDraws) {
+  const std::string content =
+      "double Cost(bool outlier, Pcg32& rng) {\n"
+      "  double cost = 0.0;\n"
+      "  if (outlier) {  // detlint: stream-stable(outlier is pure config)\n"
+      "    cost += rng.Uniform(1.0, 5.0);\n"
+      "    cost += rng.Uniform(1.0, 5.0);\n"
+      "  }\n"
+      "  return cost;\n"
+      "}\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_FALSE(HasRule(report.violations, "rng-conditional-draw"));
+}
+
+TEST(RngPassTest, StreamStableWithoutReasonTripsEscapeHygiene) {
+  const std::string content =
+      "double Cost(bool outlier, Pcg32& rng) {\n"
+      "  if (outlier) {  // detlint: stream-stable()\n"
+      "    return rng.Uniform(1.0, 5.0);\n"
+      "  }\n"
+      "  return 0.0;\n"
+      "}\n";
+  ProjectReport report = LintAll({{"src/util/fixture.cc", content}}, "util\n");
+  EXPECT_TRUE(HasRule(report.violations, "escape-reason"));
+}
+
+TEST(RngPassTest, UnseededMemberFlaggedUnlessSiblingCtorSeedsIt) {
+  const std::string header =
+      "class Session {\n"
+      " public:\n"
+      "  Session(uint64_t seed);\n"
+      " private:\n"
+      "  Pcg32 rng_;\n"
+      "};\n";
+  ProjectReport report = LintPasses({{"src/util/session.h", header}});
+  EXPECT_TRUE(HasRule(report.violations, "rng-unseeded-member"));
+
+  const std::string impl =
+      "Session::Session(uint64_t seed) : rng_(HashKeys({seed, 3})) {}\n";
+  report = LintPasses({{"src/util/session.h", header},
+                       {"src/util/session.cc", impl}});
+  EXPECT_FALSE(HasRule(report.violations, "rng-unseeded-member"));
+}
+
+TEST(RngPassTest, MemberDrawUnderConditionalFlaggedAcrossFiles) {
+  const std::string header =
+      "class Session {\n"
+      " public:\n"
+      "  Session(uint64_t seed) : rng_(HashKeys({seed, 3})) {}\n"
+      "  double Step(bool tail);\n"
+      " private:\n"
+      "  Pcg32 rng_;\n"
+      "};\n";
+  const std::string impl =
+      "double Session::Step(bool tail) {\n"
+      "  if (tail) {\n"
+      "    return rng_.NextDouble();\n"
+      "  }\n"
+      "  return rng_.NextDouble();\n"
+      "}\n";
+  ProjectReport report = LintPasses({{"src/util/session.h", header},
+                                     {"src/util/session.cc", impl}});
+  std::vector<int> lines;
+  for (const LintViolation& violation : report.violations) {
+    if (violation.rule == "rng-conditional-draw") {
+      lines.push_back(violation.line);
+    }
+  }
+  // Only the guarded draw (line 3); the unconditional one is fine.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 3);
+}
+
+TEST(LockPassTest, ThreeMutexCycleDetected) {
+  const std::string content =
+      "class Table {\n"
+      " public:\n"
+      "  void A() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(c_);\n"
+      "  }\n"
+      "  void C() {\n"
+      "    MutexLock l1(c_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "  Mutex c_;\n"
+      "};\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_TRUE(HasRule(report.violations, "lock-cycle"));
+  EXPECT_TRUE(report.lock_cycle);
+  EXPECT_GE(report.lock_edges, 3);
+}
+
+TEST(LockPassTest, ConsistentOrderIsCycleFree) {
+  const std::string content =
+      "class Table {\n"
+      " public:\n"
+      "  void A() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_FALSE(HasRule(report.violations, "lock-cycle"));
+  EXPECT_FALSE(report.lock_cycle);
+}
+
+TEST(LockPassTest, CycleThroughCalleeAcquisitionDetected) {
+  const std::string content =
+      "class Table {\n"
+      " public:\n"
+      "  void A() {\n"
+      "    MutexLock lock(a_);\n"
+      "    Grab();\n"
+      "  }\n"
+      "  void Grab() {\n"
+      "    MutexLock lock(b_);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  EXPECT_TRUE(HasRule(report.violations, "lock-cycle"));
+}
+
+TEST(LockPassTest, GuardedByCoverageOnMutexOwningClass) {
+  const std::string content =
+      "class Counter {\n"
+      " public:\n"
+      "  void Bump();\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int guarded_count_ LR_GUARDED_BY(mu_) = 0;\n"
+      "  int naked_count_ = 0;\n"
+      "};\n";
+  ProjectReport report = LintPasses({{"src/util/fixture.cc", content}});
+  std::vector<std::string> flagged;
+  for (const LintViolation& violation : report.violations) {
+    if (violation.rule == "guarded-by-coverage") {
+      flagged.push_back(violation.message);
+    }
+  }
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_NE(flagged[0].find("naked_count_"), std::string::npos);
+}
+
+TEST(LayerPassTest, UpwardIncludeFlagged) {
+  const std::string layers = "util\nsched\n";
+  std::vector<SourceFile> files = {
+      {"src/util/low.h", GuardedHeader("SRC_UTIL_LOW_H_",
+                                       "#include \"src/sched/high.h\"\n")},
+      {"src/sched/high.h", GuardedHeader("SRC_SCHED_HIGH_H_", "int x();\n")}};
+  ProjectReport report = LintAll(std::move(files), layers);
+  ASSERT_TRUE(HasRule(report.violations, "layer-order"));
+  EXPECT_FALSE(HasRule(report.violations, "include-cycle"));
+}
+
+TEST(LayerPassTest, DownwardAndSameStratumIncludesClean) {
+  const std::string layers = "util vision\nsched\n";
+  std::vector<SourceFile> files = {
+      {"src/util/low.h", GuardedHeader("SRC_UTIL_LOW_H_",
+                                       "#include \"src/vision/peer.h\"\n")},
+      {"src/vision/peer.h", GuardedHeader("SRC_VISION_PEER_H_", "int y();\n")},
+      {"src/sched/high.h", GuardedHeader("SRC_SCHED_HIGH_H_",
+                                         "#include \"src/util/low.h\"\n")}};
+  ProjectReport report = LintAll(std::move(files), layers);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(LayerPassTest, IncludeCycleDetected) {
+  const std::string layers = "util\n";
+  std::vector<SourceFile> files = {
+      {"src/util/a.h", GuardedHeader("SRC_UTIL_A_H_",
+                                     "#include \"src/util/b.h\"\n")},
+      {"src/util/b.h", GuardedHeader("SRC_UTIL_B_H_",
+                                     "#include \"src/util/a.h\"\n")}};
+  ProjectReport report = LintAll(std::move(files), layers);
+  EXPECT_TRUE(HasRule(report.violations, "include-cycle"));
+  EXPECT_TRUE(report.include_cycle);
+}
+
+TEST(LayerPassTest, UnknownDirectoryInSpecRejected) {
+  const std::string layers = "util\nschedd\n";  // typo'd module
+  std::vector<SourceFile> files = {
+      {"src/util/low.h", GuardedHeader("SRC_UTIL_LOW_H_", "int x();\n")}};
+  ProjectReport report = LintAll(std::move(files), layers);
+  EXPECT_TRUE(HasRule(report.violations, "layer-unknown"));
+}
+
+TEST(LayerPassTest, ModuleMissingFromSpecRejected) {
+  const std::string layers = "util\n";
+  std::vector<SourceFile> files = {
+      {"src/util/low.h", GuardedHeader("SRC_UTIL_LOW_H_", "int x();\n")},
+      {"src/sched/high.h", GuardedHeader("SRC_SCHED_HIGH_H_", "int y();\n")}};
+  ProjectReport report = LintAll(std::move(files), layers);
+  EXPECT_TRUE(HasRule(report.violations, "layer-unknown"));
+}
+
+TEST(LayerPassTest, MissingLayersFileReported) {
+  ProjectOptions options;  // layer pass on, has_layers false
+  ProjectReport report = LintProjectSources(
+      {{"src/util/low.h", GuardedHeader("SRC_UTIL_LOW_H_", "int x();\n")}},
+      options);
+  ASSERT_TRUE(HasRule(report.violations, "layer-unknown"));
+  EXPECT_EQ(report.violations[0].file, "tools/lint/layers.txt");
+}
+
+TEST(EscapeHygieneTest, UnusedEscapeFlagged) {
+  const std::string content =
+      "int Clean() {\n"
+      "  return 1;  // detlint: allow(banned-random) stale justification\n"
+      "}\n";
+  ProjectReport report = LintAll({{"src/util/fixture.cc", content}}, "util\n");
+  ASSERT_TRUE(HasRule(report.violations, "unused-escape"));
+  EXPECT_EQ(report.violations[0].line, 2);
+}
+
+TEST(EscapeHygieneTest, UsedEscapeWithReasonIsClean) {
+  const std::string content =
+      "void F() {\n"
+      "  srand(42);  // detlint: allow(banned-random) fixture exercising rand\n"
+      "}\n";
+  ProjectReport report = LintAll({{"src/util/fixture.cc", content}}, "util\n");
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(EscapeHygieneTest, DirectiveInsideStringLiteralIsInert) {
+  const std::string content =
+      "const char* kDoc =\n"
+      "    \"srand(42);  // detlint: allow(banned-random) quoted\";\n"
+      "void F() {\n"
+      "  srand(42);\n"
+      "}\n";
+  ProjectReport report = LintAll({{"src/util/fixture.cc", content}}, "util\n");
+  // The quoted directive neither suppresses the real srand call on line 4
+  // nor registers as an (unused) escape of its own.
+  EXPECT_TRUE(HasRule(report.violations, "banned-random"));
+  EXPECT_FALSE(HasRule(report.violations, "unused-escape"));
+}
+
+TEST(EscapeHygieneTest, MidCommentMentionIsNotADirective) {
+  const std::string content =
+      "// Escapes look like this: // detlint: allow(banned-random) reason.\n"
+      "int x = 1;\n";
+  ProjectReport report = LintAll({{"src/util/fixture.cc", content}}, "util\n");
+  EXPECT_FALSE(HasRule(report.violations, "unused-escape"));
+  EXPECT_TRUE(report.violations.empty());
+}
+
+// --- detlint --fix --------------------------------------------------------
+
+TEST(FixTest, RewritesWrongHeaderGuardAndTrailer) {
+  const std::string content =
+      "#ifndef WRONG_GUARD_H\n"
+      "#define WRONG_GUARD_H\n"
+      "int x();\n"
+      "#endif\n";
+  FixResult result = FixFileContent("src/util/thing.h", content, {});
+  ASSERT_TRUE(result.changed);
+  EXPECT_NE(result.content.find("#ifndef SRC_UTIL_THING_H_"),
+            std::string::npos);
+  EXPECT_NE(result.content.find("#define SRC_UTIL_THING_H_"),
+            std::string::npos);
+  EXPECT_NE(result.content.find("#endif  // SRC_UTIL_THING_H_"),
+            std::string::npos);
+  EXPECT_EQ(result.edits.size(), 3u);
+}
+
+TEST(FixTest, RewritesRelativeIncludeToRepoRooted) {
+  const std::string content = "#include \"../util/rng.h\"\n";
+  FixResult result =
+      FixFileContent("src/sched/thing.cc", content, {"src/util/rng.h"});
+  ASSERT_TRUE(result.changed);
+  EXPECT_EQ(result.content, "#include \"src/util/rng.h\"\n");
+}
+
+TEST(FixTest, UnresolvableIncludeLeftAlone) {
+  const std::string content = "#include \"mystery/header.h\"\n";
+  FixResult result =
+      FixFileContent("src/sched/thing.cc", content, {"src/util/rng.h"});
+  EXPECT_FALSE(result.changed);
+  EXPECT_EQ(result.content, content);
+}
+
+TEST(FixTest, CorrectFileIsAFixpoint) {
+  const std::string content = GuardedHeader(
+      "SRC_UTIL_THING_H_", "#include \"src/util/rng.h\"\nint x();\n");
+  FixResult result =
+      FixFileContent("src/util/thing.h", content, {"src/util/rng.h"});
+  EXPECT_FALSE(result.changed);
+  EXPECT_EQ(result.content, content);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "src/pipeline/serve_runner.h"
+#include "src/serve/serve_runner.h"
 #include "src/platform/faults.h"
 #include "src/platform/switching.h"
 #include "src/serve/service.h"

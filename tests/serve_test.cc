@@ -12,7 +12,7 @@
 
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
-#include "src/pipeline/serve_runner.h"
+#include "src/serve/serve_runner.h"
 #include "src/platform/gpu_ledger.h"
 #include "src/platform/latency.h"
 #include "src/sched/branch_menu.h"

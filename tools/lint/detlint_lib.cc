@@ -8,14 +8,18 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "tools/lint/layer_pass.h"
+#include "tools/lint/lock_pass.h"
+#include "tools/lint/rng_pass.h"
+#include "tools/lint/source_model.h"
 
 namespace litereconfig {
 
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+bool IsIdentChar(char c) { return IsIdentifierChar(c); }
 
 std::string LTrim(const std::string& s) {
   size_t i = s.find_first_not_of(" \t");
@@ -29,16 +33,6 @@ std::string RTrim(const std::string& s) {
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream stream(text);
-  while (std::getline(stream, line)) {
-    lines.push_back(line);
-  }
-  return lines;
 }
 
 // --- token matching ------------------------------------------------------
@@ -135,38 +129,6 @@ size_t FindToken(const std::string& code, const std::string& token,
 
 bool ContainsWord(const std::string& code, const std::string& word) {
   return FindToken(code, word, /*require_call=*/false, 0) != std::string::npos;
-}
-
-// --- inline directives ---------------------------------------------------
-
-// Parses "// detlint: allow(rule-a, rule-b) reason" and
-// "// detlint: order-independent" escapes out of a raw source line.
-std::set<std::string> ParseAllowances(const std::string& raw_line) {
-  std::set<std::string> allowed;
-  size_t pos = raw_line.find("detlint:");
-  if (pos == std::string::npos) {
-    return allowed;
-  }
-  std::string rest = LTrim(raw_line.substr(pos + 8));
-  if (StartsWith(rest, "order-independent")) {
-    allowed.insert("unordered-iter");
-    return allowed;
-  }
-  if (StartsWith(rest, "allow(")) {
-    size_t close = rest.find(')');
-    if (close != std::string::npos) {
-      std::string list = rest.substr(6, close - 6);
-      std::string rule;
-      std::istringstream stream(list);
-      while (std::getline(stream, rule, ',')) {
-        rule = RTrim(LTrim(rule));
-        if (!rule.empty()) {
-          allowed.insert(rule);
-        }
-      }
-    }
-  }
-  return allowed;
 }
 
 // --- declaration scans ---------------------------------------------------
@@ -381,17 +343,7 @@ bool IsMutableStaticDecl(const std::string& code) {
 // --- header guards -------------------------------------------------------
 
 std::string ExpectedGuard(const std::string& rel_path) {
-  std::string guard;
-  guard.reserve(rel_path.size() + 1);
-  for (char c : rel_path) {
-    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
-      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    } else {
-      guard += '_';
-    }
-  }
-  guard += '_';
-  return guard;
+  return ExpectedHeaderGuard(rel_path);
 }
 
 void CheckHeaderGuard(const std::string& rel_path,
@@ -471,88 +423,22 @@ bool IsProjectPathInclude(const std::string& target) {
 
 }  // namespace
 
-std::string StripCommentsAndStrings(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string out = content;
-  std::string raw_delim;
-  for (size_t i = 0; i < content.size(); ++i) {
-    char c = content[i];
-    char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim".
-          size_t open = content.find('(', i + 1);
-          if (open != std::string::npos) {
-            raw_delim = ")";
-            raw_delim += content.substr(i + 1, open - i - 1);
-            raw_delim += '"';
-            state = State::kRaw;
-          }
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        char closer = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == closer) {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-      case State::kRaw:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t j = 0; j < raw_delim.size(); ++j) {
-            out[i + j] = ' ';
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+std::string ExpectedHeaderGuard(const std::string& rel_path) {
+  std::string guard;
+  guard.reserve(rel_path.size() + 1);
+  for (char c : rel_path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
     }
   }
-  return out;
+  guard += '_';
+  return guard;
+}
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  return StripWithMask(content).stripped;
 }
 
 std::string FormatViolation(const LintViolation& violation) {
@@ -562,19 +448,26 @@ std::string FormatViolation(const LintViolation& violation) {
 
 std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path,
                                            const std::string& content) {
+  SourceFile file{repo_relative_path, content};
+  FileModel model = BuildFileModel(file);
+  std::vector<LintViolation> found;
+  RunLegacyRules(model, &found);
+  return found;
+}
+
+void RunLegacyRules(FileModel& model, std::vector<LintViolation>* out) {
+  const std::string& repo_relative_path = model.file->path;
   const bool is_header =
       repo_relative_path.size() >= 2 &&
       repo_relative_path.compare(repo_relative_path.size() - 2, 2, ".h") == 0;
   const bool is_mutex_header = repo_relative_path == "src/util/mutex.h";
 
-  std::vector<std::string> raw_lines = SplitLines(content);
-  const std::string stripped = StripCommentsAndStrings(content);
-  std::vector<std::string> code_lines = SplitLines(stripped);
-  code_lines.resize(raw_lines.size());
+  const std::vector<std::string>& raw_lines = model.raw_lines;
+  const std::vector<std::string>& code_lines = model.code_lines;
+  const std::string& stripped = model.masked.stripped;
 
-  std::vector<LintViolation> found;
   auto report = [&](size_t index, const char* rule, const std::string& message) {
-    found.push_back(
+    out->push_back(
         {repo_relative_path, static_cast<int>(index + 1), rule, message});
   };
 
@@ -593,16 +486,8 @@ std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path
 
   for (size_t i = 0; i < raw_lines.size(); ++i) {
     const std::string& code = code_lines[i];
-    // An escape applies to its own line, or — when written as a standalone
-    // comment line — to the line directly below it.
-    std::set<std::string> allowed = ParseAllowances(raw_lines[i]);
-    if (i > 0 && StartsWith(LTrim(raw_lines[i - 1]), "//")) {
-      for (const std::string& rule : ParseAllowances(raw_lines[i - 1])) {
-        allowed.insert(rule);
-      }
-    }
     auto flag = [&](const char* rule, const std::string& message) {
-      if (allowed.count(rule) == 0) {
+      if (!model.escapes.Allows(static_cast<int>(i + 1), rule)) {
         report(i, rule, message);
       }
     };
@@ -671,21 +556,15 @@ std::vector<LintViolation> LintFileContent(const std::string& repo_relative_path
   // Pass 3: floating-point accumulation order inside parallel extents. Runs
   // over the whole stripped content because call sites routinely span lines.
   auto allowed_on = [&](size_t line, const char* rule) {
-    if (line < raw_lines.size() &&
-        ParseAllowances(raw_lines[line]).count(rule) > 0) {
-      return true;
-    }
-    return line > 0 && StartsWith(LTrim(raw_lines[line - 1]), "//") &&
-           ParseAllowances(raw_lines[line - 1]).count(rule) > 0;
+    return model.escapes.Allows(static_cast<int>(line + 1), rule);
   };
   CheckParallelAccum(stripped, float_decl_names, allowed_on,
                      [&](size_t line, const char* rule,
                          const std::string& message) { report(line, rule, message); });
 
   if (is_header) {
-    CheckHeaderGuard(repo_relative_path, raw_lines, &found);
+    CheckHeaderGuard(repo_relative_path, raw_lines, out);
   }
-  return found;
 }
 
 LintReport LintTree(const std::string& root,
@@ -720,6 +599,142 @@ LintReport LintTree(const std::string& root,
     }
   }
   return report;
+}
+
+ProjectReport LintProjectSources(std::vector<SourceFile> sources,
+                                 const ProjectOptions& options) {
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  std::vector<FileModel> models;
+  models.reserve(sources.size());
+  for (const SourceFile& file : sources) {
+    models.push_back(BuildFileModel(file));
+  }
+
+  ProjectReport report;
+  report.files_scanned = static_cast<int>(sources.size());
+
+  if (options.legacy) {
+    for (FileModel& model : models) {
+      RunLegacyRules(model, &report.violations);
+    }
+  }
+
+  if (options.rng) {
+    RngPassContext context = BuildRngPassContext(models);
+    for (FileModel& model : models) {
+      for (LintViolation& violation : RunRngPass(model, context, models)) {
+        report.violations.push_back(std::move(violation));
+      }
+    }
+  }
+
+  if (options.lock) {
+    LockPassReport lock = RunLockPass(models);
+    report.lock_mutexes = lock.mutexes;
+    report.lock_edges = lock.edges;
+    report.lock_cycle = lock.cycle;
+    for (LintViolation& violation : lock.violations) {
+      report.violations.push_back(std::move(violation));
+    }
+  }
+
+  if (options.layer) {
+    if (!options.has_layers) {
+      report.violations.push_back(
+          {options.layers_path, 1, "layer-unknown",
+           "layers.txt not found; the layering pass needs the declared "
+           "layer order (bottom-up, one layer per line)"});
+    } else {
+      LayerSpec spec;
+      std::string error;
+      if (!ParseLayers(options.layers_text, &spec, &error)) {
+        report.violations.push_back(
+            {options.layers_path, 1, "layer-unknown", error});
+      } else {
+        report.layer_count = spec.layer_count;
+        LayerPassReport layer =
+            RunLayerPass(models, spec, options.layers_path);
+        report.include_edges = layer.include_edges;
+        report.include_cycle = layer.cycle;
+        for (LintViolation& violation : layer.violations) {
+          report.violations.push_back(std::move(violation));
+        }
+      }
+    }
+  }
+
+  // Escape hygiene: only meaningful when every pass had the chance to consume
+  // its escapes.
+  if (options.check_escapes && options.legacy && options.rng && options.lock &&
+      options.layer) {
+    for (FileModel& model : models) {
+      for (const Escape& escape : model.escapes.escapes()) {
+        if (!escape.used) {
+          report.violations.push_back(
+              {model.file->path, escape.line, "unused-escape",
+               "this '// detlint:' escape no longer suppresses any finding; "
+               "prune it so escapes stay meaningful"});
+        } else if (!escape.has_reason) {
+          report.violations.push_back(
+              {model.file->path, escape.line, "escape-reason",
+               "escape carries no justification; append the reason the "
+               "suppressed construct is sound"});
+        }
+      }
+    }
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const LintViolation& a, const LintViolation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+ProjectReport LintProject(const std::string& root,
+                          const std::vector<std::string>& subdirs,
+                          ProjectOptions options) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  for (const std::string& subdir : subdirs) {
+    fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> sources;
+  sources.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    std::ifstream stream(path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    sources.push_back({fs::relative(path, root).generic_string(), buffer.str()});
+  }
+  if (options.layer && !options.has_layers) {
+    fs::path layers = fs::path(root) / "tools" / "lint" / "layers.txt";
+    if (fs::exists(layers)) {
+      std::ifstream stream(layers);
+      std::ostringstream buffer;
+      buffer << stream.rdbuf();
+      options.layers_text = buffer.str();
+      options.has_layers = true;
+    }
+  }
+  return LintProjectSources(std::move(sources), options);
 }
 
 }  // namespace litereconfig

@@ -1,0 +1,45 @@
+// Mechanical fixes for detlint's mechanically-checkable rules.
+//
+// Three fix families, all derived directly from the file contents (so fixing
+// is idempotent and needs no prior lint run):
+//
+//   header-guard   rewrite a wrong #ifndef/#define guard pair to the
+//                  repo-relative uppercase form, and rewrite the closing
+//                  line to the exact "#endif  // GUARD" trailer.
+//   include-path   rewrite relative project includes ("../util/rng.h",
+//                  "rng.h") to repo-rooted form, resolved against the
+//                  including file's directory and verified against the set
+//                  of files that actually exist in the scan.
+//
+// Anything not mechanically derivable (missing guards entirely, #pragma
+// once conversion, semantic violations) is left to a human.
+#ifndef TOOLS_LINT_FIX_H_
+#define TOOLS_LINT_FIX_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace litereconfig {
+
+struct FixEdit {
+  int line = 0;  // 1-based
+  std::string before;
+  std::string after;
+};
+
+struct FixResult {
+  bool changed = false;
+  std::string content;          // full fixed contents
+  std::vector<FixEdit> edits;   // for dry-run diff reporting
+};
+
+// `known_files` holds every repo-relative path in the scan set, used to
+// validate include-path rewrites.
+FixResult FixFileContent(const std::string& repo_relative_path,
+                         const std::string& content,
+                         const std::set<std::string>& known_files);
+
+}  // namespace litereconfig
+
+#endif  // TOOLS_LINT_FIX_H_

@@ -1,0 +1,225 @@
+#include "tools/lint/layer_pass.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace litereconfig {
+
+namespace {
+
+// Project-rooted quoted include target of a raw line, or empty.
+std::string QuotedInclude(const std::string& raw_line) {
+  size_t i = raw_line.find_first_not_of(" \t");
+  if (i == std::string::npos || raw_line.compare(i, 8, "#include") != 0) {
+    return std::string();
+  }
+  size_t open = raw_line.find('"', i + 8);
+  if (open == std::string::npos) {
+    return std::string();
+  }
+  size_t close = raw_line.find('"', open + 1);
+  if (close == std::string::npos) {
+    return std::string();
+  }
+  return raw_line.substr(open + 1, close - open - 1);
+}
+
+bool ValidModuleName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (char c : name) {
+    if (!IsIdentifierChar(c) && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ModuleOf(const std::string& path) {
+  size_t slash = path.find('/');
+  if (slash == std::string::npos) {
+    return std::string();  // top-level file, not part of any module
+  }
+  std::string first = path.substr(0, slash);
+  if (first != "src") {
+    return first;
+  }
+  size_t second = path.find('/', slash + 1);
+  if (second == std::string::npos) {
+    return first;  // a file directly under src/ — declared as module "src"
+  }
+  return path.substr(slash + 1, second - slash - 1);
+}
+
+bool ParseLayers(const std::string& text, LayerSpec* spec, std::string* error) {
+  *spec = LayerSpec();
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  int level = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream words(line);
+    std::string module;
+    bool any = false;
+    while (words >> module) {
+      if (!ValidModuleName(module)) {
+        *error = "layers.txt:" + std::to_string(line_number) +
+                 ": invalid module name '" + module + "'";
+        return false;
+      }
+      if (spec->level.count(module) > 0) {
+        *error = "layers.txt:" + std::to_string(line_number) +
+                 ": module '" + module + "' declared twice";
+        return false;
+      }
+      spec->level[module] = level;
+      spec->decl_line[module] = line_number;
+      any = true;
+    }
+    if (any) {
+      ++level;
+    }
+  }
+  spec->layer_count = level;
+  return true;
+}
+
+LayerPassReport RunLayerPass(std::vector<FileModel>& models,
+                             const LayerSpec& spec,
+                             const std::string& layers_path) {
+  LayerPassReport report;
+
+  std::set<std::string> scanned_paths;
+  std::set<std::string> tree_modules;
+  for (const FileModel& model : models) {
+    scanned_paths.insert(model.file->path);
+    std::string module = ModuleOf(model.file->path);
+    if (!module.empty()) {
+      tree_modules.insert(module);
+    }
+  }
+
+  // Spec entries that name no directory in the scanned tree.
+  for (const auto& entry : spec.level) {
+    if (tree_modules.count(entry.first) == 0) {
+      report.violations.push_back(
+          {layers_path, spec.decl_line.at(entry.first), "layer-unknown",
+           "layers.txt names '" + entry.first +
+               "', which matches no scanned directory; fix the typo or "
+               "remove the stale entry"});
+    }
+  }
+  // Tree modules the spec forgot.
+  for (const std::string& module : tree_modules) {
+    if (spec.level.count(module) == 0) {
+      report.violations.push_back(
+          {layers_path, 1, "layer-unknown",
+           "module '" + module +
+               "' exists in the tree but is not declared in layers.txt; "
+               "add it to the layer it belongs to"});
+    }
+  }
+
+  // Include edges + upward-include check.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> includes;
+  for (FileModel& model : models) {
+    const std::string& path = model.file->path;
+    std::string module = ModuleOf(path);
+    int from_level =
+        spec.level.count(module) > 0 ? spec.level.at(module) : -1;
+    for (size_t i = 0; i < model.raw_lines.size(); ++i) {
+      std::string target = QuotedInclude(model.raw_lines[i]);
+      if (target.empty()) {
+        continue;
+      }
+      int line = static_cast<int>(i + 1);
+      ++report.include_edges;
+      if (scanned_paths.count(target) > 0) {
+        includes[path].emplace_back(target, line);
+      }
+      std::string to_module = ModuleOf(target);
+      if (from_level < 0 || to_module.empty() ||
+          spec.level.count(to_module) == 0) {
+        continue;  // unknown modules are already reported above
+      }
+      int to_level = spec.level.at(to_module);
+      if (to_level > from_level &&
+          !model.escapes.Allows(line, "layer-order")) {
+        report.violations.push_back(
+            {path, line, "layer-order",
+             "upward include: '" + module + "' (layer " +
+                 std::to_string(from_level) + ") must not include \"" +
+                 target + "\" from '" + to_module + "' (layer " +
+                 std::to_string(to_level) +
+                 "); dependencies point downward in layers.txt"});
+      }
+    }
+  }
+
+  // File-level include cycle detection (DFS, deterministic order).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    auto it = includes.find(node);
+    if (it != includes.end()) {
+      for (const auto& edge : it->second) {
+        int c = color.count(edge.first) ? color[edge.first] : 0;
+        if (c == 1) {
+          auto from = std::find(stack.begin(), stack.end(), edge.first);
+          cycle.assign(from, stack.end());
+          cycle.push_back(edge.first);
+          return true;
+        }
+        if (c == 0 && visit(edge.first)) {
+          return true;
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const std::string& path : scanned_paths) {
+    if ((color.count(path) ? color[path] : 0) == 0 && visit(path)) {
+      break;
+    }
+  }
+  if (!cycle.empty()) {
+    report.cycle = true;
+    std::string chain;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) {
+        chain += " -> ";
+      }
+      chain += cycle[i];
+    }
+    report.violations.push_back(
+        {cycle.front(), 1, "include-cycle",
+         "include cycle: " + chain + "; break the cycle with a forward "
+         "declaration or by moving the shared piece down a layer"});
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const LintViolation& a, const LintViolation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+}  // namespace litereconfig

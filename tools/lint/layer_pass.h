@@ -1,0 +1,58 @@
+// Include-graph layering: the module dependency order as checked-in data.
+//
+// tools/lint/layers.txt declares the layer order bottom-up, one layer per
+// line; modules on the same line form one stratum and may include each other.
+// '#' starts a comment. A module is the directory directly under src/
+// ("util", "sched", ...) or a top-level directory ("tools", "bench", ...).
+//
+// The pass builds the repo include graph from project-rooted quoted includes
+// and enforces:
+//
+//   layer-order     a file includes a header from a strictly higher layer.
+//                   Dependencies must point downward (or sideways within a
+//                   stratum); an upward include is a layering leak.
+//   include-cycle   the file-level include graph has a cycle.
+//   layer-unknown   a scanned file's module is missing from layers.txt, or
+//                   layers.txt names a directory that does not exist in the
+//                   scanned tree (catches typos and stale entries).
+#ifndef TOOLS_LINT_LAYER_PASS_H_
+#define TOOLS_LINT_LAYER_PASS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/detlint_lib.h"
+#include "tools/lint/source_model.h"
+
+namespace litereconfig {
+
+struct LayerSpec {
+  std::map<std::string, int> level;      // module -> stratum index (0 = bottom)
+  std::map<std::string, int> decl_line;  // module -> layers.txt line
+  int layer_count = 0;
+};
+
+// Parses layers.txt text. Returns false (with *error set) on duplicate
+// modules or invalid module names.
+bool ParseLayers(const std::string& text, LayerSpec* spec, std::string* error);
+
+// The module a repo-relative path belongs to ("src/util/rng.h" -> "util",
+// "tools/lint/detlint.cc" -> "tools").
+std::string ModuleOf(const std::string& path);
+
+struct LayerPassReport {
+  std::vector<LintViolation> violations;
+  int include_edges = 0;
+  bool cycle = false;
+};
+
+// `layers_path` is used only to anchor layer-unknown reports about the spec
+// itself. Marks matched escapes used.
+LayerPassReport RunLayerPass(std::vector<FileModel>& models,
+                             const LayerSpec& spec,
+                             const std::string& layers_path);
+
+}  // namespace litereconfig
+
+#endif  // TOOLS_LINT_LAYER_PASS_H_

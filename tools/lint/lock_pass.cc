@@ -1,0 +1,463 @@
+#include "tools/lint/lock_pass.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace litereconfig {
+
+namespace {
+
+constexpr const char* kMutexHeader = "src/util/mutex.h";
+
+// One lock acquisition inside a function body. `scope_end` bounds the region
+// where the lock is considered held (enclosing brace block for MutexLock,
+// matching Unlock or function end for manual Lock, function end for
+// LR_ACQUIRE annotations).
+struct Acquisition {
+  std::string id;
+  size_t pos = 0;
+  size_t scope_end = 0;
+  int line = 0;
+};
+
+struct FunctionInfo {
+  const FileModel* model = nullptr;
+  const FunctionModel* function = nullptr;
+  std::vector<Acquisition> acquisitions;
+  std::vector<std::string> requires_held;           // LR_REQUIRES, normalized
+  std::vector<std::pair<std::string, size_t>> calls;  // bare name, position
+};
+
+// All brace-delimited extents of a file (for MutexLock scoping).
+std::vector<Extent> BraceExtents(const std::string& s) {
+  std::vector<Extent> extents;
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '{') {
+      stack.push_back(i);
+    } else if (s[i] == '}' && !stack.empty()) {
+      extents.push_back({stack.back() + 1, i});
+      stack.pop_back();
+    }
+  }
+  return extents;
+}
+
+// Lambda body extents: "] (params)? mutable? noexcept? (-> type)? {".
+// Code inside a lambda does not run while lexically-enclosing locks are held.
+std::vector<Extent> LambdaExtents(const std::string& s) {
+  std::vector<Extent> extents;
+  for (size_t i = s.find(']'); i != std::string::npos; i = s.find(']', i + 1)) {
+    size_t j = i + 1;
+    while (j < s.size() && (s[j] == ' ' || s[j] == '\t' || s[j] == '\n')) {
+      ++j;
+    }
+    if (j < s.size() && s[j] == '(') {
+      j = MatchParen(s, j);
+      if (j == std::string::npos) {
+        continue;
+      }
+    }
+    for (;;) {
+      while (j < s.size() && (s[j] == ' ' || s[j] == '\t' || s[j] == '\n')) {
+        ++j;
+      }
+      if (s.compare(j, 7, "mutable") == 0 || s.compare(j, 8, "noexcept") == 0) {
+        while (j < s.size() && IsIdentifierChar(s[j])) {
+          ++j;
+        }
+        continue;
+      }
+      if (s.compare(j, 2, "->") == 0) {
+        size_t brace = s.find('{', j);
+        if (brace == std::string::npos) {
+          j = s.size();
+        } else {
+          j = brace;
+        }
+      }
+      break;
+    }
+    if (j < s.size() && s[j] == '{') {
+      size_t end = MatchBrace(s, j);
+      if (end != std::string::npos) {
+        extents.push_back({j + 1, end - 1});
+      }
+    }
+  }
+  return extents;
+}
+
+bool LambdaSeparated(const std::vector<Extent>& lambdas, size_t holder_pos,
+                     size_t inner_pos) {
+  for (const Extent& lambda : lambdas) {
+    if (lambda.Contains(inner_pos) && !lambda.Contains(holder_pos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Syntactic mutex identity; see the header comment for the merging rules.
+std::string NormalizeMutexExpr(const std::string& raw,
+                               const FunctionModel* function) {
+  std::string expr;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      continue;
+    }
+    if (c == '-' && i + 1 < raw.size() && raw[i + 1] == '>') {
+      expr += '.';
+      ++i;
+      continue;
+    }
+    expr += c;
+  }
+  while (!expr.empty() && (expr.front() == '&' || expr.front() == '*')) {
+    expr.erase(expr.begin());
+  }
+  if (expr.rfind("this.", 0) == 0) {
+    expr = expr.substr(5);
+  }
+  if (expr.find('.') == std::string::npos &&
+      expr.find("::") == std::string::npos && function != nullptr &&
+      !function->class_name.empty()) {
+    return function->class_name + "::" + expr;
+  }
+  return expr;
+}
+
+// The extent of the innermost brace block containing `pos`.
+size_t EnclosingBraceEnd(const std::vector<Extent>& braces, size_t pos,
+                         size_t fallback) {
+  size_t best = fallback;
+  size_t best_begin = 0;
+  bool have = false;
+  for (const Extent& brace : braces) {
+    if (brace.Contains(pos) && (!have || brace.begin > best_begin)) {
+      best = brace.end;
+      best_begin = brace.begin;
+      have = true;
+    }
+  }
+  return best;
+}
+
+void CollectAcquisitions(const FileModel& model, const FunctionModel& function,
+                         const std::vector<Extent>& braces,
+                         FunctionInfo* info) {
+  const std::string& s = model.masked.stripped;
+
+  for (const std::string& raw : function.acquires) {
+    Acquisition acquired;
+    acquired.id = NormalizeMutexExpr(raw, &function);
+    acquired.pos = function.body.begin;
+    acquired.scope_end = function.body.end;
+    acquired.line = function.line;
+    info->acquisitions.push_back(acquired);
+  }
+  for (const std::string& raw : function.requires_) {
+    info->requires_held.push_back(NormalizeMutexExpr(raw, &function));
+  }
+
+  // MutexLock <name>(<expr>); — scoped until the enclosing brace closes.
+  size_t pos = FindTokenFrom(s, "MutexLock", /*require_call=*/false,
+                             function.body.begin);
+  while (pos != std::string::npos && pos < function.body.end) {
+    size_t i = pos + 9;
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+      ++i;
+    }
+    while (i < s.size() && IsIdentifierChar(s[i])) {
+      ++i;
+    }
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+      ++i;
+    }
+    if (i < s.size() && s[i] == '(') {
+      size_t end = MatchParen(s, i);
+      if (end != std::string::npos) {
+        Acquisition acquired;
+        acquired.id = NormalizeMutexExpr(s.substr(i + 1, end - i - 2), &function);
+        acquired.pos = pos;
+        acquired.scope_end = EnclosingBraceEnd(braces, pos, function.body.end);
+        acquired.line = model.LineAt(pos);
+        info->acquisitions.push_back(acquired);
+      }
+    }
+    pos = FindTokenFrom(s, "MutexLock", /*require_call=*/false, pos + 1);
+  }
+
+  // expr.Lock() / expr->Lock() — held to the matching Unlock or function end.
+  for (const char* marker : {".Lock(", "->Lock("}) {
+    size_t at = s.find(marker, function.body.begin);
+    while (at != std::string::npos && at < function.body.end) {
+      // Walk the object expression backward: identifiers, '.', '->', '::'.
+      size_t start = at;
+      while (start > function.body.begin) {
+        char c = s[start - 1];
+        if (IsIdentifierChar(c) || c == '.' || c == '_') {
+          --start;
+        } else if (c == '>' && start >= 2 && s[start - 2] == '-') {
+          start -= 2;
+        } else if (c == ':' && start >= 2 && s[start - 2] == ':') {
+          start -= 2;
+        } else {
+          break;
+        }
+      }
+      if (start < at) {
+        Acquisition acquired;
+        acquired.id = NormalizeMutexExpr(s.substr(start, at - start), &function);
+        acquired.pos = at;
+        acquired.scope_end = function.body.end;
+        acquired.line = model.LineAt(at);
+        // Match the first Unlock on the same expression after the Lock.
+        std::string expr = s.substr(start, at - start);
+        for (const char* un : {".Unlock(", "->Unlock("}) {
+          size_t upos = s.find(std::string(expr) + un, at);
+          if (upos != std::string::npos && upos < acquired.scope_end) {
+            acquired.scope_end = upos;
+          }
+        }
+        info->acquisitions.push_back(acquired);
+      }
+      at = s.find(marker, at + 1);
+    }
+  }
+}
+
+struct CycleSearch {
+  const std::map<std::string, std::set<std::string>>* graph;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  bool Visit(const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    auto it = graph->find(node);
+    if (it != graph->end()) {
+      for (const std::string& next : it->second) {
+        int c = color.count(next) ? color[next] : 0;
+        if (c == 1) {
+          auto from = std::find(stack.begin(), stack.end(), next);
+          cycle.assign(from, stack.end());
+          cycle.push_back(next);
+          return true;
+        }
+        if (c == 0 && Visit(next)) {
+          return true;
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  }
+};
+
+}  // namespace
+
+LockPassReport RunLockPass(std::vector<FileModel>& models) {
+  LockPassReport report;
+
+  // --- guarded-by-coverage ---
+  for (FileModel& model : models) {
+    if (model.file->path == kMutexHeader) {
+      continue;
+    }
+    for (const ClassModel& klass : model.classes) {
+      if (!klass.owns_mutex) {
+        continue;
+      }
+      for (const MemberModel& member : klass.members) {
+        if (member.guarded || member.is_const || member.is_reference ||
+            member.is_atomic || member.is_mutex || member.is_condvar ||
+            member.is_static || member.name.empty()) {
+          continue;
+        }
+        if (!model.escapes.Allows(member.line, "guarded-by-coverage")) {
+          report.violations.push_back(
+              {model.file->path, member.line, "guarded-by-coverage",
+               "'" + member.name + "' is a mutable member of " + klass.name +
+                   ", which owns a Mutex, but carries no LR_GUARDED_BY "
+                   "annotation. Annotate it, or justify set-once-before-"
+                   "sharing state with '// detlint: allow(guarded-by-"
+                   "coverage) <reason>'"});
+        }
+      }
+    }
+  }
+
+  // --- acquisition extraction ---
+  std::vector<FunctionInfo> infos;
+  std::map<std::string, std::vector<size_t>> by_bare_name;
+  for (const FileModel& model : models) {
+    if (model.file->path == kMutexHeader) {
+      continue;
+    }
+    std::vector<Extent> braces = BraceExtents(model.masked.stripped);
+    for (const FunctionModel& function : model.functions) {
+      FunctionInfo info;
+      info.model = &model;
+      info.function = &function;
+      CollectAcquisitions(model, function, braces, &info);
+      infos.push_back(std::move(info));
+    }
+  }
+  for (size_t i = 0; i < infos.size(); ++i) {
+    by_bare_name[infos[i].function->bare_name].push_back(i);
+  }
+
+  // Call sites: identifier tokens followed by '(' whose spelling matches a
+  // known function's bare name. One linear scan per body.
+  for (FunctionInfo& info : infos) {
+    const std::string& s = info.model->masked.stripped;
+    size_t i = info.function->body.begin;
+    while (i < info.function->body.end && i < s.size()) {
+      if (IsIdentifierChar(s[i]) && (i == 0 || !IsIdentifierChar(s[i - 1])) &&
+          std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+        size_t start = i;
+        while (i < s.size() && IsIdentifierChar(s[i])) {
+          ++i;
+        }
+        std::string word = s.substr(start, i - start);
+        size_t after = i;
+        while (after < s.size() && (s[after] == ' ' || s[after] == '\t')) {
+          ++after;
+        }
+        if (after < s.size() && s[after] == '(' &&
+            word != info.function->bare_name &&
+            by_bare_name.count(word) > 0) {
+          info.calls.emplace_back(word, start);
+        }
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // --- acquire-effect fixpoint over the bare-name call graph ---
+  std::map<std::string, std::set<std::string>> effect;
+  for (const FunctionInfo& info : infos) {
+    std::set<std::string>& mine = effect[info.function->bare_name];
+    for (const Acquisition& acquired : info.acquisitions) {
+      mine.insert(acquired.id);
+    }
+  }
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (const FunctionInfo& info : infos) {
+      std::set<std::string>& mine = effect[info.function->bare_name];
+      for (const auto& call : info.calls) {
+        for (const std::string& id : effect[call.first]) {
+          changed = mine.insert(id).second || changed;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // --- edge generation ---
+  // edge (A, B) -> first witnessing site
+  std::map<std::pair<std::string, std::string>, LintViolation> edges;
+  std::set<std::string> nodes;
+  auto add_edge = [&](const std::string& a, const std::string& b,
+                      const FileModel& model, int line,
+                      const std::string& how) {
+    if (a == b) {
+      return;
+    }
+    nodes.insert(a);
+    nodes.insert(b);
+    edges.emplace(std::make_pair(a, b),
+                  LintViolation{model.file->path, line, "lock-cycle",
+                                "'" + b + "' acquired while holding '" + a +
+                                    "' (" + how + ")"});
+  };
+  for (const FunctionInfo& info : infos) {
+    std::vector<Extent> lambdas = LambdaExtents(info.model->masked.stripped);
+    for (const Acquisition& acquired : info.acquisitions) {
+      nodes.insert(acquired.id);
+      for (const Acquisition& other : info.acquisitions) {
+        if (other.pos > acquired.pos && other.pos < acquired.scope_end &&
+            !LambdaSeparated(lambdas, acquired.pos, other.pos)) {
+          add_edge(acquired.id, other.id, *info.model, other.line, "directly");
+        }
+      }
+      for (const auto& call : info.calls) {
+        if (call.second > acquired.pos && call.second < acquired.scope_end &&
+            !LambdaSeparated(lambdas, acquired.pos, call.second)) {
+          for (const std::string& id : effect[call.first]) {
+            add_edge(acquired.id, id, *info.model,
+                     info.model->LineAt(call.second),
+                     "via call to " + call.first + "()");
+          }
+        }
+      }
+    }
+    for (const std::string& held : info.requires_held) {
+      nodes.insert(held);
+      for (const Acquisition& acquired : info.acquisitions) {
+        add_edge(held, acquired.id, *info.model, acquired.line,
+                 "LR_REQUIRES(" + held + ") on " + info.function->name + "()");
+      }
+    }
+  }
+
+  report.mutexes = static_cast<int>(nodes.size());
+  report.edges = static_cast<int>(edges.size());
+
+  // --- cycle detection ---
+  std::map<std::string, std::set<std::string>> graph;
+  for (const auto& edge : edges) {
+    graph[edge.first.first].insert(edge.first.second);
+  }
+  CycleSearch search;
+  search.graph = &graph;
+  for (const std::string& node : nodes) {
+    if ((search.color.count(node) ? search.color[node] : 0) == 0 &&
+        search.Visit(node)) {
+      break;
+    }
+  }
+  if (!search.cycle.empty()) {
+    report.cycle = true;
+    std::string path;
+    for (size_t i = 0; i < search.cycle.size(); ++i) {
+      if (i > 0) {
+        path += " -> ";
+      }
+      path += search.cycle[i];
+    }
+    // Anchor the report at the witnessing site of the cycle's closing edge.
+    const std::string& from = search.cycle[search.cycle.size() - 2];
+    const std::string& to = search.cycle.back();
+    auto it = edges.find(std::make_pair(from, to));
+    LintViolation v = it != edges.end()
+                          ? it->second
+                          : LintViolation{models.empty() ? std::string("?")
+                                                         : models[0].file->path,
+                                          1, "lock-cycle", ""};
+    v.rule = "lock-cycle";
+    v.message = "lock acquisition order cycle (potential deadlock): " + path +
+                "; last edge: " + (it != edges.end() ? it->second.message : "");
+    report.violations.push_back(std::move(v));
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const LintViolation& a, const LintViolation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+}  // namespace litereconfig

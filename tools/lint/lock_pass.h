@@ -1,0 +1,53 @@
+// Lock-order and annotation-coverage analysis over the annotated Mutex
+// wrappers (src/util/mutex.h).
+//
+// Acquisition sites are MutexLock declarations (scoped to their enclosing
+// brace block), manual `.Lock()` / `->Lock()` calls (held to the matching
+// `.Unlock()` or function end), and LR_ACQUIRE(mu) annotations on function
+// definitions (held for the whole body). From those the pass builds:
+//
+//   lock-cycle            the inter-procedural acquisition-order graph: an
+//                         edge A -> B whenever B is acquired (directly, or
+//                         inside a callee per a call-graph fixpoint) while A
+//                         is held. A cycle is a potential deadlock. Lexical
+//                         nesting inside a lambda body does NOT count as
+//                         "while held" — the lambda runs later, on another
+//                         thread's schedule.
+//   guarded-by-coverage   a class that owns a Mutex must annotate every
+//                         mutable data member with LR_GUARDED_BY. Members
+//                         that synchronize themselves or are frozen at
+//                         construction are exempt: const, references,
+//                         std::atomic, Mutex/CondVar themselves, statics
+//                         (owned by the mutable-global rule). Set-once-
+//                         before-sharing members take
+//                         '// detlint: allow(guarded-by-coverage) reason'.
+//
+// Mutex identity is syntactic: a bare member name is qualified by the
+// enclosing class ("ThreadPool::mu_"); an object-qualified expression keeps
+// its object ("job.mu"). Distinct spellings of one mutex under-merge, which
+// can miss an edge but never fabricates one. src/util/mutex.h itself is the
+// primitive layer and is excluded from acquisition scanning.
+#ifndef TOOLS_LINT_LOCK_PASS_H_
+#define TOOLS_LINT_LOCK_PASS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/detlint_lib.h"
+#include "tools/lint/source_model.h"
+
+namespace litereconfig {
+
+struct LockPassReport {
+  std::vector<LintViolation> violations;
+  int mutexes = 0;  // nodes in the acquisition-order graph
+  int edges = 0;
+  bool cycle = false;
+};
+
+// Runs both analyses over the whole project. Marks matched escapes used.
+LockPassReport RunLockPass(std::vector<FileModel>& models);
+
+}  // namespace litereconfig
+
+#endif  // TOOLS_LINT_LOCK_PASS_H_

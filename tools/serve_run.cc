@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "src/pipeline/serve_runner.h"
+#include "src/serve/serve_runner.h"
 #include "src/pipeline/workbench.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
