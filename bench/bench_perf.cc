@@ -7,12 +7,19 @@
 // repo root in CI).
 //
 // Exit status doubles as the in-binary acceptance gate: the fast Decide path
-// must be at least 2x the reference in kFull mode. The ratio is
-// machine-independent (both sides run on the same host in the same process);
-// CI additionally compares the absolute numbers against
-// bench/perf_baseline.json to catch regressions over time.
+// must be at least 2x the reference in kFull mode, and the pipelined+batched
+// execution plan must not run slower than the serial reference executor
+// (e2e_pipeline speedup >= 1.0). The ratios are machine-independent (both
+// sides run on the same host in the same process); CI additionally compares
+// the absolute numbers against bench/perf_baseline.json to catch regressions
+// over time.
 //
-// Usage: bench_perf [--threads=N] [--out=PATH]
+// --profile additionally runs one instrumented pass of the pipelined e2e
+// variant and reports where its wall time goes phase by phase
+// (decide/detect/track/defer-join/eval/merge), as a table and a "profile"
+// section in the JSON.
+//
+// Usage: bench_perf [--threads=N] [--out=PATH] [--profile]
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -26,11 +33,20 @@
 #include "src/features/light.h"
 #include "src/mbek/kernel.h"
 #include "src/pipeline/trainer.h"
+#include "src/sched/scheduler_session.h"
 #include "src/util/rng.h"
 #include "src/video/dataset.h"
 
 namespace litereconfig {
 namespace {
+
+// The injected PhaseClockFn for --profile: monotonic microseconds since the
+// first call (PhaseProfile only ever subtracts, so the epoch is arbitrary).
+double NowMicros() {
+  // detlint: allow(mutable-global) bench-only wall-clock epoch, subtract-only
+  static WallTimer timer;
+  return timer.ElapsedMicros();
+}
 
 struct DecisionCase {
   SyntheticVideo video;
@@ -111,6 +127,29 @@ double TimeSelect(const TrainedModels& models,
   return total_us / static_cast<double>(iters);
 }
 
+// Mean microseconds per Decide over repeated-context streaks: 16 consecutive
+// decisions share one context, the shape of a stream in a stable regime (same
+// branch, slowly-moving calibration). With a persistent SchedulerSession the
+// 15 repeats replay the cached cost table (and, for heavy-feature-free
+// decisions, the whole decision); `session == nullptr` times the fresh path
+// on the identical call pattern.
+double TimeDecideStreaks(const LiteReconfigScheduler& sched,
+                         const std::vector<DecisionCase>& cases, int iters,
+                         SchedulerSession* session) {
+  size_t sink = 0;
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    size_t streak = static_cast<size_t>(i) / 16;
+    const DecisionCase& c = cases[streak % cases.size()];
+    sink += sched.Decide(MakeContext(c, streak % 7), session).branch_index;
+  }
+  double total_us = timer.ElapsedMicros();
+  if (sink == static_cast<size_t>(-1)) {
+    std::cout << "";
+  }
+  return total_us / static_cast<double>(iters);
+}
+
 // One end-to-end OnlineRunner::Run variant: scheduler config + pipeline flag.
 struct RunVariant {
   SchedulerConfig sched;
@@ -155,10 +194,13 @@ std::string JsonSection(const std::string& name, double fast, double reference,
 int Run(int argc, char** argv) {
   int threads = BenchThreads(argc, argv);
   std::string out_path = "BENCH_perf.json";
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg == "--profile") {
+      profile = true;
     }
   }
 
@@ -199,6 +241,14 @@ int Run(int argc, char** argv) {
         return full.SelectFeaturesReference(light, light_pred, ctx);
       });
 
+  // The batched scheduler: persistent-session Decide vs the identical fresh
+  // call pattern (repeated-context streaks; see TimeDecideStreaks).
+  SchedulerSession reuse_session;
+  double reuse_session_us =
+      TimeDecideStreaks(full, cases, kDecideIters, &reuse_session);
+  double reuse_fresh_us = TimeDecideStreaks(full, cases, kDecideIters, nullptr);
+  const SchedulerSession::Counters& reuse = reuse_session.counters();
+
   // Fewer videos than workers: idle workers can absorb the deferred tracker
   // halves, which is the production-shaped case of a stream count below the
   // core count. The headline e2e comparison is fast-path vs reference
@@ -216,12 +266,32 @@ int Run(int argc, char** argv) {
   run_serial.pipeline = false;
   std::vector<double> run_ms = TimeRuns(
       models, e2e_dataset, threads, {run_fast, run_reference, run_serial},
-      /*reps=*/5);
+      /*reps=*/9);
   double run_fast_ms = run_ms[0];
   double run_reference_ms = run_ms[1];
   double run_serial_ms = run_ms[2];
 
   double decide_speedup = full_fast_us > 0.0 ? full_ref_us / full_fast_us : 0.0;
+  double pipeline_speedup =
+      run_fast_ms > 0.0 ? run_serial_ms / run_fast_ms : 0.0;
+  double reuse_speedup =
+      reuse_session_us > 0.0 ? reuse_fresh_us / reuse_session_us : 0.0;
+
+  // One instrumented pass of the pipelined variant: where the wall time goes.
+  PhaseProfile phases;
+  double profile_wall_ms = 0.0;
+  if (profile) {
+    LiteReconfigProtocol protocol(&models, run_fast.sched, "LiteReconfig");
+    EvalConfig config;
+    config.slo_ms = 33.3;
+    config.threads = threads;
+    config.pipeline = true;
+    config.now_us = NowMicros;
+    WallTimer timer;
+    EvalResult result = OnlineRunner::Run(protocol, e2e_dataset, config);
+    profile_wall_ms = timer.ElapsedMs();
+    phases = result.phases;
+  }
 
   TablePrinter table({"section", "fast", "reference", "speedup"});
   table.AddRow({"Decide (kFull), us", FmtDouble(full_fast_us, 1),
@@ -242,10 +312,47 @@ int Run(int argc, char** argv) {
                                             : 0.0,
                           2)});
   table.AddRow({"Run e2e (pipeline on/off), ms", FmtDouble(run_fast_ms, 1),
-                FmtDouble(run_serial_ms, 1),
-                FmtDouble(run_fast_ms > 0.0 ? run_serial_ms / run_fast_ms : 0.0,
-                          2)});
+                FmtDouble(run_serial_ms, 1), FmtDouble(pipeline_speedup, 2)});
+  table.AddRow({"Decide streaks (session/fresh), us",
+                FmtDouble(reuse_session_us, 1), FmtDouble(reuse_fresh_us, 1),
+                FmtDouble(reuse_speedup, 2)});
   table.Print(std::cout);
+
+  if (profile) {
+    double accounted_us = phases.decide_us + phases.detect_us +
+                          phases.track_us + phases.defer_join_us +
+                          phases.eval_us + phases.merge_us;
+    TablePrinter prof({"phase", "ms", "share"});
+    auto share = [&](double us) {
+      return FmtDouble(profile_wall_ms > 0.0
+                           ? 100.0 * us / (profile_wall_ms * 1000.0)
+                           : 0.0,
+                       1) +
+             "%";
+    };
+    prof.AddRow({"decide", FmtDouble(phases.decide_us / 1000.0, 2),
+                 share(phases.decide_us)});
+    prof.AddRow({"detect", FmtDouble(phases.detect_us / 1000.0, 2),
+                 share(phases.detect_us)});
+    prof.AddRow({"track", FmtDouble(phases.track_us / 1000.0, 2),
+                 share(phases.track_us)});
+    prof.AddRow({"defer-join", FmtDouble(phases.defer_join_us / 1000.0, 2),
+                 share(phases.defer_join_us)});
+    prof.AddRow({"eval", FmtDouble(phases.eval_us / 1000.0, 2),
+                 share(phases.eval_us)});
+    prof.AddRow({"merge", FmtDouble(phases.merge_us / 1000.0, 2),
+                 share(phases.merge_us)});
+    prof.AddRow({"other", FmtDouble(profile_wall_ms - accounted_us / 1000.0, 2),
+                 share(profile_wall_ms * 1000.0 - accounted_us)});
+    prof.AddRow({"total wall", FmtDouble(profile_wall_ms, 2), "100.0%"});
+    prof.Print(std::cout);
+    std::cout << "[bench] profile: " << phases.gofs << " gofs ("
+              << phases.deferred_gofs << " deferred, " << phases.inline_gofs
+              << " inline), " << phases.decisions << " session decisions ("
+              << phases.decision_reuses << " replayed, " << phases.table_reuses
+              << " table reuses, " << phases.table_builds << " builds, "
+              << phases.switch_row_reuses << " switch-row reuses)\n";
+  }
 
   std::ofstream json(out_path);
   json << "{\n";
@@ -258,9 +365,28 @@ int Run(int argc, char** argv) {
   json << JsonSection("e2e_run", run_fast_ms, run_reference_ms, "ms") << ",\n";
   json << "  \"e2e_pipeline\": {\"on_ms\": " << run_fast_ms
        << ", \"off_ms\": " << run_serial_ms
-       << ", \"speedup\": " << (run_fast_ms > 0.0 ? run_serial_ms / run_fast_ms : 0.0)
-       << "}\n";
-  json << "}\n";
+       << ", \"speedup\": " << pipeline_speedup << "},\n";
+  json << "  \"cost_table_reuse\": {\"session_us\": " << reuse_session_us
+       << ", \"fresh_us\": " << reuse_fresh_us
+       << ", \"speedup\": " << reuse_speedup
+       << ", \"decision_reuses\": " << reuse.decision_reuses
+       << ", \"table_reuses\": " << reuse.table_reuses
+       << ", \"table_builds\": " << reuse.table_builds
+       << ", \"switch_row_reuses\": " << reuse.switch_row_reuses
+       << ", \"decisions\": " << reuse.decisions << "}";
+  if (profile) {
+    json << ",\n  \"profile\": {\"wall_ms\": " << profile_wall_ms
+         << ", \"decide_ms\": " << phases.decide_us / 1000.0
+         << ", \"detect_ms\": " << phases.detect_us / 1000.0
+         << ", \"track_ms\": " << phases.track_us / 1000.0
+         << ", \"defer_join_ms\": " << phases.defer_join_us / 1000.0
+         << ", \"eval_ms\": " << phases.eval_us / 1000.0
+         << ", \"merge_ms\": " << phases.merge_us / 1000.0
+         << ", \"gofs\": " << phases.gofs
+         << ", \"deferred_gofs\": " << phases.deferred_gofs
+         << ", \"inline_gofs\": " << phases.inline_gofs << "}";
+  }
+  json << "\n}\n";
   json.close();
   std::cout << "[bench] wrote " << out_path << "\n";
 
@@ -268,6 +394,13 @@ int Run(int argc, char** argv) {
     std::cerr << "bench_perf: Decide (kFull) fast path is only "
               << FmtDouble(decide_speedup, 2)
               << "x the reference; the acceptance gate is 2x\n";
+    return 1;
+  }
+  if (pipeline_speedup < 1.0) {
+    std::cerr << "bench_perf: the pipelined+batched plan is "
+              << FmtDouble(pipeline_speedup, 2)
+              << "x the serial reference executor; the acceptance gate is "
+                 "1.0x (pipelining must never cost throughput)\n";
     return 1;
   }
   return 0;

@@ -32,16 +32,21 @@ int FeatureDimension(FeatureKind kind) {
   return kDims[idx];
 }
 
+bool FeatureNeedsRaster(FeatureKind kind) {
+  return kind == FeatureKind::kHoc || kind == FeatureKind::kHog;
+}
+
 std::vector<double> ExtractFeature(FeatureKind kind, const SyntheticVideo& video,
-                                   int t, const DetectionList& anchor_detections) {
+                                   int t, const DetectionList& anchor_detections,
+                                   const Image* rendered) {
   switch (kind) {
     case FeatureKind::kLight:
       return ComputeLightFeatures(video.spec().width, video.spec().height,
                                   anchor_detections);
     case FeatureKind::kHoc:
-      return ComputeHoc(RenderFrame(video, t));
+      return ComputeHoc(rendered != nullptr ? *rendered : RenderFrame(video, t));
     case FeatureKind::kHog:
-      return ComputeHog(RenderFrame(video, t));
+      return ComputeHog(rendered != nullptr ? *rendered : RenderFrame(video, t));
     case FeatureKind::kResNet50:
       return ComputeResNetFeature(video, t);
     case FeatureKind::kCpop:

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/video/raster.h"
 #include "src/video/synthetic_video.h"
 #include "src/vision/box.h"
 
@@ -31,11 +32,18 @@ inline constexpr FeatureKind kHeavyFeatures[] = {
 std::string_view FeatureName(FeatureKind kind);
 int FeatureDimension(FeatureKind kind);
 
+// Whether extracting `kind` rasterizes the frame (RenderFrame) — the dominant
+// extraction cost for the raster-backed features.
+bool FeatureNeedsRaster(FeatureKind kind);
+
 // Extracts the feature on frame t. `anchor_detections` is the detector output on
 // that frame: the light feature's object statistics and the CPoP class logits are
 // derived from it (in the real system both come from the running MBEK).
+// `rendered`, when non-null, must be RenderFrame(video, t): callers extracting
+// several raster-backed features for one frame render it once and share it.
 std::vector<double> ExtractFeature(FeatureKind kind, const SyntheticVideo& video,
-                                   int t, const DetectionList& anchor_detections);
+                                   int t, const DetectionList& anchor_detections,
+                                   const Image* rendered = nullptr);
 
 }  // namespace litereconfig
 

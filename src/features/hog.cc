@@ -9,6 +9,19 @@ std::vector<double> ComputeHog(const Image& image) {
   int cells_y = image.height / kHogCellSize;
   std::vector<double> cell_hist(static_cast<size_t>(cells_x * cells_y * kHogBins), 0.0);
 
+  // Luma plane, materialized once. The gradient loop reads each pixel's gray
+  // value up to four times (as left/right/up/down neighbor); storing the
+  // GrayAt double reuses the identical value instead of redoing the RGB blend.
+  std::vector<double> gray(static_cast<size_t>(image.width * image.height));
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      gray[static_cast<size_t>(y * image.width + x)] = image.GrayAt(x, y);
+    }
+  }
+  auto gray_at = [&](int x, int y) {
+    return gray[static_cast<size_t>(y * image.width + x)];
+  };
+
   // Per-pixel gradients with central differences (clamped borders), binned by
   // unsigned orientation with linear interpolation between adjacent bins.
   for (int y = 0; y < image.height; ++y) {
@@ -17,8 +30,8 @@ std::vector<double> ComputeHog(const Image& image) {
       int xp = x < image.width - 1 ? x + 1 : x;
       int ym = y > 0 ? y - 1 : y;
       int yp = y < image.height - 1 ? y + 1 : y;
-      double gx = image.GrayAt(xp, y) - image.GrayAt(xm, y);
-      double gy = image.GrayAt(x, yp) - image.GrayAt(x, ym);
+      double gx = gray_at(xp, y) - gray_at(xm, y);
+      double gy = gray_at(x, yp) - gray_at(x, ym);
       double mag = std::hypot(gx, gy);
       if (mag <= 0.0) {
         continue;

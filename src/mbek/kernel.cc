@@ -28,6 +28,36 @@ DetectionList ExecutionKernel::DetectAnchor(const SyntheticVideo& video, int sta
                              EffectiveQuality(branch, quality), run_salt);
 }
 
+int ExecutionKernel::TrackRemainderInto(const SyntheticVideo& video, int start,
+                                        const Branch& branch,
+                                        const DetectionList& anchor_detections,
+                                        uint64_t run_salt, TrackBatch& scratch,
+                                        DetectionList* out_frames,
+                                        const DetectorQuality& quality) {
+  int remaining = video.frame_count() - start;
+  int length = std::min(branch.gof, remaining);
+  if (length <= 1) {
+    return 0;
+  }
+  if (branch.has_tracker) {
+    // Only confident detections are handed to the tracker — the same policy the
+    // latency accounting charges for.
+    scratch.Reset(anchor_detections, kConfidentScoreThreshold);
+    for (int t = start + 1; t < start + length; ++t) {
+      TrackerSim::StepInto(video, t, branch.tracker, scratch, run_salt,
+                           out_frames[t - start - 1]);
+    }
+  } else {
+    // A detector-only branch with gof > 1 would re-detect each frame; in the
+    // curated space detector-only branches have gof == 1, but handle it anyway.
+    for (int t = start + 1; t < start + length; ++t) {
+      out_frames[t - start - 1] = DetectorSim::Detect(
+          video, t, branch.detector, EffectiveQuality(branch, quality), run_salt);
+    }
+  }
+  return length - 1;
+}
+
 std::vector<DetectionList> ExecutionKernel::TrackRemainder(
     const SyntheticVideo& video, int start, const Branch& branch,
     const DetectionList& anchor_detections, uint64_t run_salt,
@@ -38,30 +68,10 @@ std::vector<DetectionList> ExecutionKernel::TrackRemainder(
   if (length <= 1) {
     return frames;
   }
-  frames.reserve(static_cast<size_t>(length - 1));
-  if (branch.has_tracker) {
-    // Only confident detections are handed to the tracker — the same policy the
-    // latency accounting charges for.
-    DetectionList confident;
-    for (const Detection& det : anchor_detections) {
-      if (det.score >= kConfidentScoreThreshold) {
-        confident.push_back(det);
-      }
-    }
-    std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
-    for (int t = start + 1; t < start + length; ++t) {
-      frames.push_back(
-          TrackerSim::Step(video, t, branch.tracker, tracks, run_salt));
-    }
-  } else {
-    // A detector-only branch with gof > 1 would re-detect each frame; in the
-    // curated space detector-only branches have gof == 1, but handle it anyway.
-    for (int t = start + 1; t < start + length; ++t) {
-      frames.push_back(DetectorSim::Detect(video, t, branch.detector,
-                                           EffectiveQuality(branch, quality),
-                                           run_salt));
-    }
-  }
+  frames.resize(static_cast<size_t>(length - 1));
+  TrackBatch scratch;
+  TrackRemainderInto(video, start, branch, anchor_detections, run_salt, scratch,
+                     frames.data(), quality);
   return frames;
 }
 
@@ -85,6 +95,23 @@ GofResult ExecutionKernel::RunGof(const SyntheticVideo& video, int start,
   return result;
 }
 
+int ExecutionKernel::TrackOnlyInto(const SyntheticVideo& video, int start,
+                                   int length, const TrackerConfig& tracker,
+                                   const DetectionList& init_detections,
+                                   uint64_t run_salt, TrackBatch& scratch,
+                                   DetectionList* out_frames) {
+  int end = std::min(video.frame_count(), start + length);
+  if (end <= start) {
+    return 0;
+  }
+  scratch.Reset(init_detections, kConfidentScoreThreshold);
+  for (int t = start; t < end; ++t) {
+    TrackerSim::StepInto(video, t, tracker, scratch, run_salt,
+                         out_frames[t - start]);
+  }
+  return end - start;
+}
+
 std::vector<DetectionList> ExecutionKernel::TrackOnly(
     const SyntheticVideo& video, int start, int length, const TrackerConfig& tracker,
     const DetectionList& init_detections, uint64_t run_salt) {
@@ -93,16 +120,10 @@ std::vector<DetectionList> ExecutionKernel::TrackOnly(
   if (end <= start) {
     return frames;
   }
-  DetectionList confident;
-  for (const Detection& det : init_detections) {
-    if (det.score >= kConfidentScoreThreshold) {
-      confident.push_back(det);
-    }
-  }
-  std::vector<TrackState> tracks = TrackerSim::InitTracks(confident);
-  for (int t = start; t < end; ++t) {
-    frames.push_back(TrackerSim::Step(video, t, tracker, tracks, run_salt));
-  }
+  frames.resize(static_cast<size_t>(end - start));
+  TrackBatch scratch;
+  TrackOnlyInto(video, start, length, tracker, init_detections, run_salt, scratch,
+                frames.data());
   return frames;
 }
 

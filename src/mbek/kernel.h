@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/mbek/branch.h"
+#include "src/track/tracker.h"
 #include "src/video/synthetic_video.h"
 #include "src/vision/box.h"
 
@@ -46,6 +47,21 @@ class ExecutionKernel {
       const DetectionList& anchor_detections, uint64_t run_salt = 0,
       const DetectorQuality& quality = {});
 
+  // Arena form of TrackRemainder: writes frame start+1+i's outputs into
+  // out_frames[i] (each slot cleared and reserved to the track count) and
+  // returns the number of frames written. `scratch` is the GoF's SoA track
+  // arena — Reset() reuses its column capacity, so a steady-state GoF costs
+  // zero track-state allocations and each output lands once, directly in its
+  // final slot (no per-frame std::vector<DetectionList> churn). Bit-identical
+  // to TrackRemainder (pinned by KernelTest): the same confident-filter
+  // policy, the same keyed per-track substreams, the same arithmetic.
+  static int TrackRemainderInto(const SyntheticVideo& video, int start,
+                                const Branch& branch,
+                                const DetectionList& anchor_detections,
+                                uint64_t run_salt, TrackBatch& scratch,
+                                DetectionList* out_frames,
+                                const DetectorQuality& quality = {});
+
   // Mean average precision of running the branch in steady state over the
   // snippet [start, start + length): consecutive GoFs, evaluated against the
   // visible ground truth. This is the per-(snippet, branch) accuracy label.
@@ -62,6 +78,15 @@ class ExecutionKernel {
                                               const TrackerConfig& tracker,
                                               const DetectionList& init_detections,
                                               uint64_t run_salt = 0);
+
+  // Arena form of TrackOnly: writes frame start+i's outputs into out_frames[i]
+  // and returns the number of frames written (min(length, frames left); 0 when
+  // nothing remains). Same arena/identity contract as TrackRemainderInto.
+  static int TrackOnlyInto(const SyntheticVideo& video, int start, int length,
+                           const TrackerConfig& tracker,
+                           const DetectionList& init_detections,
+                           uint64_t run_salt, TrackBatch& scratch,
+                           DetectionList* out_frames);
 };
 
 }  // namespace litereconfig

@@ -10,6 +10,7 @@
 #include "src/sched/contention_estimator.h"
 #include "src/sched/cost_table.h"
 #include "src/sched/drift.h"
+#include "src/sched/scheduler_session.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 
@@ -45,13 +46,43 @@ TrackerConfig CoastTracker(const Branch& branch) {
                             : TrackerConfig{TrackerType::kMedianFlow, 4};
 }
 
-// One in-flight GoF: the anchor detections (already known) plus the tracker
-// frames still being simulated by a deferred task. `task` is declared last so
-// its destructor joins before the data members it writes are destroyed.
+// One in-flight GoF tracker half. The anchor is already in its stats.frames
+// slot and TrackRemainderInto writes the tracked frames directly into the
+// preallocated slots that follow it, so joining a deferred half moves nothing.
+// The slot — including its SoA scratch arena — is reused across GoFs: steady
+// state launches allocate no track state at all. `task` is declared last so
+// its destructor joins before the members the deferred closure reads are
+// destroyed.
 struct PendingGof {
-  DetectionList anchor;
-  std::vector<DetectionList> tracked;
+  const SyntheticVideo* video = nullptr;
+  Branch branch;                          // gof clipped to the executed length
+  int start = 0;
+  uint64_t salt = 0;
+  const DetectionList* anchor = nullptr;  // the anchor's stats.frames slot
+  DetectionList* out = nullptr;           // first tracked-frame slot
+  TrackBatch scratch;
+  bool use_arena = true;                  // false: reference allocating wrapper
+  bool in_flight = false;
   DeferredTask task;
+
+  void Run() {
+    if (use_arena) {
+      ExecutionKernel::TrackRemainderInto(*video, start, branch, *anchor, salt,
+                                          scratch, out);
+      return;
+    }
+    // Reference executor: the seed's allocating wrapper — a fresh track arena
+    // and a per-GoF vector of frames, moved into the slots afterwards. Value-
+    // identical to the arena form (KernelTest pins it); kept as the
+    // pipeline=false baseline the same way DecideReference is kept for the
+    // scheduler, so the on/off comparison measures the batched executor
+    // against the original path.
+    std::vector<DetectionList> frames =
+        ExecutionKernel::TrackRemainder(*video, start, branch, *anchor, salt);
+    for (size_t i = 0; i < frames.size(); ++i) {
+      out[i] = std::move(frames[i]);
+    }
+  }
 };
 
 }  // namespace
@@ -106,8 +137,26 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
                                              const RunEnv& env) {
   const BranchSpace& space = *models_->space;
   VideoRunStats stats;
+  const PhaseClockFn now = env.now_us;
+  const double run_t0 = now != nullptr ? now() : 0.0;
+  // Every frame slot is preallocated so GoF outputs — including deferred
+  // tracker halves — are written in place. The invariant is that slots
+  // [0, t) hold the emitted frames (possibly still being written by the one
+  // in-flight task); the final resize trims a fault-truncated run.
+  stats.frames.resize(static_cast<size_t>(video.frame_count()));
+  // The batched scheduler: one session per stream reuses switch-cost rows,
+  // cost tables and (heavy-feature-free) whole decisions across consecutive
+  // GoFs behind an explicit invalidation key. The serial reference executor
+  // (env.pipeline == false) decides from scratch every GoF instead.
+  SchedulerSession session;
+  SchedulerSession* const session_ptr = env.pipeline ? &session : nullptr;
   Pcg32 rng(HashKeys({video.spec().seed, env.run_salt, 0x117e2ull}));
   DetectionList anchor;
+  // The last anchor's detections. The batched plan aims this at the anchor's
+  // stats.frames slot (stable storage: the vector is preallocated and never
+  // reallocates mid-run), eliding the per-GoF DetectionList copy the serial
+  // reference executor retains.
+  const DetectionList* anchor_ref = &anchor;
   std::optional<size_t> current;
   // Online latency calibration (observed/profiled EWMA). Local to the video:
   // each stream re-measures contention during its own preheat, which keeps
@@ -179,21 +228,39 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
   }
   // Intra-video pipelining: the previous GoF's tracker simulation runs as a
   // deferred task while this iteration's scheduler pass (including heavy
-  // content-feature extraction) executes; the frames are joined and appended —
-  // in frame order — before anything reads stats.frames. The deferred closure
-  // is a pure function of its inputs and consumes no RNG, so results are
-  // bit-identical to the serial order at any thread count.
-  std::unique_ptr<PendingGof> pending;
-  auto flush_pending = [&stats, &pending]() {
-    if (pending == nullptr) {
+  // content-feature extraction) executes, writing straight into its
+  // preallocated stats.frames slots; the join happens before anything reads
+  // those slots. The deferred closure is a pure function of its inputs and
+  // consumes no RNG, so results are bit-identical to the serial order at any
+  // thread count.
+  PendingGof pending;
+  pending.video = &video;
+  pending.salt = env.run_salt;
+  pending.use_arena = env.pipeline;
+  auto flush_pending = [&pending, &stats, now]() {
+    if (!pending.in_flight) {
       return;
     }
-    pending->task.Join();
-    stats.frames.push_back(std::move(pending->anchor));
-    for (DetectionList& frame : pending->tracked) {
-      stats.frames.push_back(std::move(frame));
+    ScopedPhase join_phase(now, &stats.phases.defer_join_us);
+    pending.task.Join();
+    pending.in_flight = false;
+  };
+  // Tail/coast continuations go through the same executor split: the batched
+  // path writes into the preallocated slots via the shared arena, the
+  // reference path keeps the allocating TrackOnly wrapper (value-identical).
+  auto track_only = [&](int start, int length, const TrackerConfig& tracker,
+                        const DetectionList& init) {
+    if (env.pipeline) {
+      return ExecutionKernel::TrackOnlyInto(video, start, length, tracker, init,
+                                            env.run_salt, pending.scratch,
+                                            stats.frames.data() + start);
     }
-    pending.reset();
+    std::vector<DetectionList> frames = ExecutionKernel::TrackOnly(
+        video, start, length, tracker, init, env.run_salt);
+    for (size_t i = 0; i < frames.size(); ++i) {
+      stats.frames[static_cast<size_t>(start) + i] = std::move(frames[i]);
+    }
+    return static_cast<int>(frames.size());
   };
   int t = 0;
   while (t < video.frame_count()) {
@@ -252,10 +319,11 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       // branch across the window.
       decision.branch_index = cheapest_branch;
     } else {
+      ScopedPhase decide_phase(now, &stats.phases.decide_us);
       DecisionContext ctx;
       ctx.video = &video;
       ctx.frame = t;
-      ctx.anchor_detections = &anchor;
+      ctx.anchor_detections = anchor_ref;
       ctx.current_branch = current;
       ctx.slo_ms = env.slo_ms;
       ctx.frames_remaining = video.frame_count() - t;
@@ -282,44 +350,47 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
           }
         }
       }
-      decision = scheduler_.Decide(ctx);
+      decision = scheduler_.Decide(ctx, session_ptr);
     }
     // The decision above only needed the previous anchor. The in-flight GoF
     // stays in flight until something actually reads stats.frames (the tail
     // and coast paths) or the next GoF is launched, so the deferred tracker
     // half overlaps this whole iteration — scheduler pass and anchor
-    // detection included. A pending GoF always lands at least one frame.
-    bool have_frames = pending != nullptr || !stats.frames.empty();
+    // detection included. Frames [0, t) are always emitted (possibly still
+    // being written by the in-flight task), so t > 0 means frames exist.
+    bool have_frames = t > 0;
     if (decision.infeasible && current.has_value() &&
         video.frame_count() - t <= kTailFrames && have_frames) {
       flush_pending();
       // Tail continuation: no detector pass fits the remaining frames; keep
-      // tracking from the last emitted outputs.
+      // tracking from the last emitted outputs, writing into the preallocated
+      // slots (the init frame is slot t-1, the outputs start at slot t — no
+      // overlap).
       const Branch& cur_branch = space.at(*current);
       TrackerConfig tail_tracker = CoastTracker(cur_branch);
-      const DetectionList& last_frame = stats.frames.back();
-      std::vector<DetectionList> tail = ExecutionKernel::TrackOnly(
-          video, t, video.frame_count() - t, tail_tracker, last_frame, env.run_salt);
-      if (tail.empty()) {
+      const DetectionList& last_frame = stats.frames[t - 1];
+      int tail_len;
+      {
+        ScopedPhase track_phase(now, &stats.phases.track_us);
+        tail_len = track_only(t, video.frame_count() - t, tail_tracker, last_frame);
+      }
+      if (tail_len == 0) {
         break;
       }
       int tracked = CountConfident(last_frame);
       double track_total = 0.0;
-      for (size_t i = 0; i < tail.size(); ++i) {
+      for (int i = 0; i < tail_len; ++i) {
         track_total += platform->Sample(
             platform->TrackerMs(tail_tracker, tracked), rng);
       }
       stats.tracker_ms += track_total;
-      double tail_frame_ms = track_total / static_cast<double>(tail.size());
+      double tail_frame_ms = track_total / static_cast<double>(tail_len);
       stats.gof_frame_ms.push_back(tail_frame_ms);
-      stats.gof_lengths.push_back(static_cast<int>(tail.size()));
-      faults.OnGofComplete(tail_frame_ms, env.slo_ms,
-                           static_cast<int>(tail.size()), /*coasted=*/false);
+      stats.gof_lengths.push_back(tail_len);
+      faults.OnGofComplete(tail_frame_ms, env.slo_ms, tail_len,
+                           /*coasted=*/false);
       TraceFaults(faults, fault_mark, video.spec().seed);
-      t += static_cast<int>(tail.size());
-      for (DetectionList& frame : tail) {
-        stats.frames.push_back(std::move(frame));
-      }
+      t += tail_len;
       continue;
     }
     const Branch& branch = space.at(decision.branch_index);
@@ -358,33 +429,33 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       }
       length = std::max(length, 1);
       flush_pending();
-      const DetectionList last_frame = stats.frames.back();
-      std::vector<DetectionList> coasted = ExecutionKernel::TrackOnly(
-          video, t, length, coast_tracker, last_frame, env.run_salt);
-      if (coasted.empty()) {
+      const DetectionList& last_frame = stats.frames[t - 1];
+      int coast_len;
+      {
+        ScopedPhase track_phase(now, &stats.phases.track_us);
+        coast_len = track_only(t, length, coast_tracker, last_frame);
+      }
+      if (coast_len == 0) {
         break;
       }
       int tracked = CountConfident(last_frame);
       double track_total = 0.0;
-      for (size_t i = 0; i < coasted.size(); ++i) {
+      for (int i = 0; i < coast_len; ++i) {
         track_total += platform->Sample(
             platform->TrackerMs(coast_tracker, tracked), rng);
       }
-      double len = static_cast<double>(coasted.size());
+      double len = static_cast<double>(coast_len);
       double gof_total = track_total + outcome.penalty_ms;
       stats.tracker_ms += track_total;
       stats.gof_frame_ms.push_back(gof_total / len);
-      stats.gof_lengths.push_back(static_cast<int>(len));
-      faults.OnGofComplete(gof_total / len, env.slo_ms, static_cast<int>(len),
+      stats.gof_lengths.push_back(coast_len);
+      faults.OnGofComplete(gof_total / len, env.slo_ms, coast_len,
                            /*coasted=*/true);
       if (denied) {
         faults.RecordDeniedGof(/*cpu_fallback=*/false);
       }
       TraceFaults(faults, fault_mark, video.spec().seed);
-      t += static_cast<int>(len);
-      for (DetectionList& frame : coasted) {
-        stats.frames.push_back(std::move(frame));
-      }
+      t += coast_len;
       continue;
     }
 
@@ -409,8 +480,11 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
     if (length <= 0) {
       break;
     }
-    DetectionList anchor_dets =
-        ExecutionKernel::DetectAnchor(video, t, branch, env.run_salt);
+    DetectionList anchor_dets;
+    {
+      ScopedPhase detect_phase(now, &stats.phases.detect_us);
+      anchor_dets = ExecutionKernel::DetectAnchor(video, t, branch, env.run_salt);
+    }
     double det_nominal = platform->Sample(platform->DetectorMs(branch.detector), rng);
     double det_sample = det_nominal * outcome.outlier_scale;
     // Online contention calibration against the zero-contention profile. With
@@ -526,7 +600,7 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
       std::vector<double> fallback_light;
       if (decision.light_features.empty()) {
         fallback_light = ComputeLightFeatures(video.spec().width,
-                                              video.spec().height, anchor);
+                                              video.spec().height, *anchor_ref);
       }
       const std::vector<double>& light = decision.light_features.empty()
                                              ? fallback_light
@@ -573,37 +647,72 @@ VideoRunStats LiteReconfigProtocol::RunVideo(const SyntheticVideo& video,
         }
       }
     }
-    anchor = anchor_dets;
-    // Launch the tracker half of this GoF. With pipelining off (or when the
-    // pool has no spare worker by join time) the same closure runs inline on
-    // this thread — one code path, identical outputs.
+    // Launch the tracker half of this GoF: the anchor lands in its slot now
+    // (the deferred closure reads it; Defer's enqueue orders the write before
+    // the worker runs) and the tracked frames follow it in place. Deferring
+    // only pays when another thread can absorb the work, so serial runs —
+    // pipelined or not — execute the same call inline: one code path,
+    // identical outputs. The batched plan re-aims anchor_ref at the slot
+    // (same bytes, no copy); the reference executor keeps the per-GoF copy.
+    if (env.pipeline) {
+      anchor_ref = stats.frames.data() + t;
+    } else {
+      anchor = anchor_dets;
+    }
     flush_pending();
-    pending = std::make_unique<PendingGof>();
-    pending->anchor = std::move(anchor_dets);
-    PendingGof* raw = pending.get();
+    stats.frames[t] = std::move(anchor_dets);
+    pending.start = t;
+    pending.branch = branch;
     // The tracker half must stop where the latency accounting stopped: a
     // denial-clipped GoF ends at the interval boundary, not at branch.gof
-    // (TrackRemainder derives its span from the branch's own GoF length).
-    Branch launch_branch = branch;
-    launch_branch.gof = length;
-    auto track_remainder = [raw, &video, launch_branch, t,
-                            salt = env.run_salt]() {
-      raw->tracked = ExecutionKernel::TrackRemainder(video, t, launch_branch,
-                                                     raw->anchor, salt);
-    };
+    // (TrackRemainderInto derives its span from the branch's own GoF length).
+    pending.branch.gof = length;
+    pending.anchor = stats.frames.data() + t;
+    pending.out = stats.frames.data() + t + 1;
     int track_steps = branch.has_tracker
-                          ? (length - 1) * CountConfident(pending->anchor)
+                          ? (length - 1) * CountConfident(*pending.anchor)
                           : 0;
-    if (env.pipeline && track_steps >= kPipelineMinTrackSteps) {
-      pending->task = ThreadPool::Shared().Defer(track_remainder);
+    ++stats.phases.gofs;
+    if (env.pipeline && env.threads > 1 &&
+        track_steps >= kPipelineMinTrackSteps) {
+      ++stats.phases.deferred_gofs;
+      pending.task = ThreadPool::Shared().Defer([p = &pending]() { p->Run(); });
+      pending.in_flight = true;
     } else {
-      track_remainder();
+      ++stats.phases.inline_gofs;
+      ScopedPhase track_phase(now, &stats.phases.track_us);
+      if (env.pipeline) {
+        pending.Run();
+      } else {
+        // Reference executor: the seed allocated a fresh GoF slot per launch
+        // (no reused scratch arena). Same inputs, same wrapper, same outputs.
+        auto ref = std::make_unique<PendingGof>();
+        ref->video = pending.video;
+        ref->salt = pending.salt;
+        ref->use_arena = false;
+        ref->start = pending.start;
+        ref->branch = pending.branch;
+        ref->anchor = pending.anchor;
+        ref->out = pending.out;
+        ref->Run();
+      }
     }
     t += static_cast<int>(len);
     current = decision.branch_index;
   }
   flush_pending();
+  // Trim a fault-truncated run back to the frames actually emitted.
+  stats.frames.resize(static_cast<size_t>(t));
+  const SchedulerSession::Counters& reuse = session.counters();
+  stats.phases.decisions += reuse.decisions;
+  stats.phases.decision_reuses += reuse.decision_reuses;
+  stats.phases.table_reuses += reuse.table_reuses;
+  stats.phases.table_builds += reuse.table_builds;
+  stats.phases.switch_row_reuses += reuse.switch_row_reuses;
   stats.robustness = faults.TakeAccounting();
+  if (now != nullptr) {
+    stats.phases.run_us += now() - run_t0;
+  }
   return stats;
 }
 

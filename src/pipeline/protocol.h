@@ -26,6 +26,74 @@
 
 namespace litereconfig {
 
+// Wall-clock callback for the optional per-phase execution profile, returning
+// monotonic microseconds. src/ never reads host clocks itself (the simulated
+// LatencyModel clock is the only time source that may feed results; detlint
+// enforces it), so profiling is injection-only: the bench harness supplies a
+// WallTimer-backed callback, everything else leaves it null and pays nothing.
+using PhaseClockFn = double (*)();
+
+// Where the end-to-end wall time of a run goes, phase by phase. Microsecond
+// fields are only accumulated when a PhaseClockFn was injected; the counters
+// (cheap integer bumps describing the execution plan) are always maintained.
+struct PhaseProfile {
+  double decide_us = 0.0;      // scheduler passes (feature selection included)
+  double detect_us = 0.0;      // anchor detector simulation
+  double track_us = 0.0;       // tracker simulation run inline on this thread
+  double defer_join_us = 0.0;  // waiting on deferred tracker halves
+  double eval_us = 0.0;        // per-video AP accumulation (runner)
+  double merge_us = 0.0;       // video-order merge + metric aggregation (runner)
+  double run_us = 0.0;         // whole RunVideo wall time
+
+  long gofs = 0;
+  long deferred_gofs = 0;  // tracker halves shipped to the pool
+  long inline_gofs = 0;    // tracker halves run on the decision thread
+  // Scheduler-session reuse accounting (zero when no session was used).
+  long decisions = 0;
+  long decision_reuses = 0;
+  long table_reuses = 0;
+  long table_builds = 0;
+  long switch_row_reuses = 0;
+
+  void Merge(const PhaseProfile& other) {
+    decide_us += other.decide_us;
+    detect_us += other.detect_us;
+    track_us += other.track_us;
+    defer_join_us += other.defer_join_us;
+    eval_us += other.eval_us;
+    merge_us += other.merge_us;
+    run_us += other.run_us;
+    gofs += other.gofs;
+    deferred_gofs += other.deferred_gofs;
+    inline_gofs += other.inline_gofs;
+    decisions += other.decisions;
+    decision_reuses += other.decision_reuses;
+    table_reuses += other.table_reuses;
+    table_builds += other.table_builds;
+    switch_row_reuses += other.switch_row_reuses;
+  }
+};
+
+// Accumulates wall time into one PhaseProfile field while in scope; inert
+// (never reads the clock) when no clock was injected.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseClockFn now, double* acc)
+      : now_(now), acc_(acc), start_(now != nullptr ? now() : 0.0) {}
+  ~ScopedPhase() {
+    if (now_ != nullptr) {
+      *acc_ += now_() - start_;
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseClockFn now_;
+  double* acc_;
+  double start_;
+};
+
 struct RunEnv {
   // Ground-truth platform: the simulated device under the current contention.
   const LatencyModel* platform = nullptr;
@@ -46,11 +114,23 @@ struct RunEnv {
   // recalibration loop. Only takes effect when faults are injected and
   // `degrade` is on; the no-fault path is untouched by construction.
   bool predictive = false;
-  // Intra-video pipelining: protocols that support it overlap the GoF's
-  // tracker-frame simulation with the next decision's feature extraction
-  // (ThreadPool::Defer). Results are bit-identical either way — the flag
-  // exists for the perf harness and for the identity tests that prove it.
+  // The pipelined + batched execution plan. Protocols that support it
+  // (a) reuse scheduler state across consecutive GoF decisions of the same
+  // stream (SchedulerSession: cost tables and whole decisions replayed behind
+  // an explicit invalidation key), and (b) overlap the GoF's tracker-frame
+  // simulation with the next decision's scheduler pass (ThreadPool::Defer)
+  // when the run has real parallelism. Off is the serial reference executor —
+  // fresh tables every decision, tracker halves inline. Results are
+  // bit-identical either way — the flag exists for the perf harness and for
+  // the identity tests that prove it.
   bool pipeline = true;
+  // The run's resolved worker parallelism (the runner fills it in). Deferring
+  // tracker halves only pays when another thread can actually absorb them, so
+  // the pipelined plan runs them inline when threads <= 1 — an execution
+  // strategy choice that cannot affect results.
+  int threads = 1;
+  // Optional per-phase profiling clock; null (the default) disables timing.
+  PhaseClockFn now_us = nullptr;
 };
 
 // What one protocol did on one video.
@@ -69,6 +149,8 @@ struct VideoRunStats {
   // Distinct execution branches invoked (paper Figure 4's branch coverage).
   std::set<std::string> branches_used;
   int switch_count = 0;
+  // Per-phase execution profile (timings only when RunEnv.now_us was set).
+  PhaseProfile phases;
   // Robustness accounting: deadline misses, faults injected/absorbed, degraded
   // frames, recovery episodes, and the structured per-failure reports
   // (including a fatal kOom when the protocol cannot run at all).

@@ -27,6 +27,8 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
   env.degrade = config.degrade;
   env.predictive = config.predictive;
   env.pipeline = config.pipeline;
+  env.threads = ResolveThreadCount(config.threads);
+  env.now_us = config.now_us;
 
   protocol.Reset();
 
@@ -48,15 +50,17 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
         if (pv.stats.Fatal()) {
           return;
         }
+        ScopedPhase eval_phase(env.now_us, &pv.stats.phases.eval_us);
         for (size_t t = 0; t < pv.stats.frames.size(); ++t) {
           pv.eval.AddFrame(videos[i].frame(static_cast<int>(t)).VisibleGroundTruth(),
                            pv.stats.frames[t]);
         }
       },
-      ResolveThreadCount(config.threads));
+      env.threads);
 
   // Merge in video order — bitwise identical to a sequential walk.
   EvalResult result;
+  ScopedPhase merge_phase(config.now_us, &result.phases.merge_us);
   ApEvaluator evaluator;
   std::set<std::string> branches;
   double detector_ms = 0.0;
@@ -77,6 +81,7 @@ EvalResult OnlineRunner::Run(Protocol& protocol, const Dataset& validation,
       return result;
     }
     evaluator.Merge(per_video[v].eval);
+    result.phases.Merge(stats.phases);
     result.frames += stats.frames.size();
     result.gof_frame_ms.insert(result.gof_frame_ms.end(), stats.gof_frame_ms.begin(),
                                stats.gof_frame_ms.end());

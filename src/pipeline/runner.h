@@ -33,10 +33,14 @@ struct EvalConfig {
   // Predictive robustness (contention forecasting, staged degradation, drift
   // recalibration); only meaningful with faults injected and degrade on.
   bool predictive = false;
-  // Intra-video pipelining (overlap tracker simulation with the next
-  // decision's feature extraction). Bit-identical results either way; off is
-  // the serial baseline the perf harness compares against.
+  // The pipelined + batched execution plan (scheduler-session reuse across
+  // GoFs plus deferred tracker halves; see RunEnv::pipeline). Bit-identical
+  // results either way; off is the serial reference executor the perf harness
+  // compares against.
   bool pipeline = true;
+  // Optional per-phase profiling clock (bench-injected; see PhaseClockFn).
+  // Null disables all phase timing.
+  PhaseClockFn now_us = nullptr;
 };
 
 struct EvalResult {
@@ -83,6 +87,11 @@ struct EvalResult {
   int forecast_absorbed = 0;
   // Structured per-video failure reports, tagged with the video seed.
   std::vector<FailureReport> failures;
+  // Aggregated per-phase execution profile (timings only when a profiling
+  // clock was injected through EvalConfig::now_us). Deliberately absent from
+  // EvalResultJson: the JSON surface stays byte-identical to profiled and
+  // unprofiled runs alike.
+  PhaseProfile phases;
 
   // The paper's pass/fail notion: "F" when the protocol misses the SLO (P95
   // above the objective beyond measurement slack) or cannot run at all.

@@ -67,6 +67,10 @@ class DecisionCostTable {
   double slo_limit_ms() const { return slo_limit_ms_; }
 
  private:
+  // SchedulerSession rebuilds tables in place across GoFs (reusing rows whose
+  // inputs did not change) under the same bit-exactness contract as Build.
+  friend class SchedulerSession;
+
   std::vector<double> branch_ms_;
   std::vector<double> switch_ms_;
   // Effective GoF lengths as doubles (the amortization denominators).

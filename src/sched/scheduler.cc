@@ -7,6 +7,7 @@
 
 #include "src/features/light.h"
 #include "src/sched/cost_table.h"
+#include "src/sched/scheduler_session.h"
 
 namespace litereconfig {
 
@@ -214,9 +215,20 @@ std::vector<double> LiteReconfigScheduler::PredictAccuracy(
     return light_pred;
   }
   std::vector<double> combined(models_->space->size(), 0.0);
+  // Raster-backed features (HoC, HOG) share one frame render: the raster is
+  // the dominant extraction cost and is identical for every feature of the
+  // same frame.
+  Image rendered;
+  bool have_render = false;
   for (FeatureKind kind : heavy) {
+    const bool needs_raster = FeatureNeedsRaster(kind);
+    if (needs_raster && !have_render) {
+      rendered = RenderFrame(*ctx.video, ctx.frame);
+      have_render = true;
+    }
     std::vector<double> content =
-        ExtractFeature(kind, *ctx.video, ctx.frame, *ctx.anchor_detections);
+        ExtractFeature(kind, *ctx.video, ctx.frame, *ctx.anchor_detections,
+                       needs_raster ? &rendered : nullptr);
     std::vector<double> pred = models_->accuracy.at(kind).Predict(light, content);
     for (size_t b = 0; b < combined.size(); ++b) {
       combined[b] += pred[b];
@@ -239,7 +251,8 @@ std::vector<double> LiteReconfigScheduler::PredictAccuracy(
   return combined;
 }
 
-SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) const {
+SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx,
+                                                SchedulerSession* session) const {
   if (!config_.use_fast_path) {
     return DecideReference(ctx);
   }
@@ -247,13 +260,30 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
   const VideoSpec& spec = ctx.video->spec();
   std::vector<double> light =
       ComputeLightFeatures(spec.width, spec.height, *ctx.anchor_detections);
+  if (session != nullptr) {
+    // Whole-decision replay: when every key field matches the cached decision
+    // (and that decision used no heavy features), the pass below would
+    // recompute the identical result — skip it.
+    SchedulerDecision replayed;
+    if (session->LookupDecision(*models_, config_, ctx, light, &replayed)) {
+      return replayed;
+    }
+  }
   const AccuracyPredictor& light_model = models_->accuracy.at(FeatureKind::kLight);
   std::vector<double> light_pred = light_model.Predict(light, {});
 
   // The per-decision cost table: one latency-predictor pass per branch, shared
   // by feature selection, the branch scan, and the hysteresis check below.
-  DecisionCostTable table =
-      DecisionCostTable::Build(*models_, config_, ctx, light);
+  // Sessions serve it from their cross-GoF cache instead of rebuilding.
+  DecisionCostTable local_table;
+  const DecisionCostTable* table_ptr;
+  if (session != nullptr) {
+    table_ptr = &session->TableFor(*models_, config_, ctx);
+  } else {
+    local_table = DecisionCostTable::Build(*models_, config_, ctx, light);
+    table_ptr = &local_table;
+  }
+  const DecisionCostTable& table = *table_ptr;
 
   // 1. Which heavy features to use.
   std::vector<FeatureKind> heavy = ChooseHeavyFeatures(light, light_pred, ctx, &table);
@@ -324,6 +354,9 @@ SchedulerDecision LiteReconfigScheduler::Decide(const DecisionContext& ctx) cons
         models_->space->at(*ctx.current_branch), models_->space->at(best_branch));
   }
   decision.light_features = std::move(light);
+  if (session != nullptr) {
+    session->StoreDecision(decision);
+  }
   return decision;
 }
 

@@ -145,6 +145,7 @@ struct SchedulerDecision {
 };
 
 class DecisionCostTable;
+class SchedulerSession;
 
 class LiteReconfigScheduler {
  public:
@@ -154,7 +155,17 @@ class LiteReconfigScheduler {
   // invocation (src/sched/cost_table.h) so every feasibility probe in feature
   // selection and the branch scan is cheap arithmetic. Bit-identical to
   // DecideReference by construction (tests/sched_fastpath_test.cc).
-  SchedulerDecision Decide(const DecisionContext& ctx) const;
+  //
+  // With a non-null `session` (one per video stream; see
+  // src/sched/scheduler_session.h) consecutive decisions additionally reuse
+  // the cost table — and, when no heavy features are in play, the whole
+  // decision — across GoFs behind an explicit invalidation key. Decisions are
+  // bit-identical with or without a session at any reuse pattern.
+  SchedulerDecision Decide(const DecisionContext& ctx,
+                           SchedulerSession* session) const;
+  SchedulerDecision Decide(const DecisionContext& ctx) const {
+    return Decide(ctx, nullptr);
+  }
 
   // The retained pre-table implementation: re-evaluates the latency predictor
   // for every probe. Kept as the executable specification the fast path is

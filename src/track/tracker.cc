@@ -58,6 +58,107 @@ std::vector<TrackState> TrackerSim::InitTracks(const DetectionList& detections) 
   return tracks;
 }
 
+void TrackBatch::Reset(const DetectionList& detections, double min_score) {
+  object_id.clear();
+  class_id.clear();
+  score.clear();
+  offset_x.clear();
+  offset_y.clear();
+  scale_error.clear();
+  lost.clear();
+  last_box.clear();
+  for (const Detection& det : detections) {
+    if (det.score < min_score) {
+      continue;
+    }
+    object_id.push_back(det.object_id);
+    class_id.push_back(det.class_id);
+    score.push_back(det.score);
+    offset_x.push_back(0.0);
+    offset_y.push_back(0.0);
+    scale_error.push_back(1.0);
+    lost.push_back(0);
+    last_box.push_back(det.box);
+  }
+}
+
+void TrackerSim::StepInto(const SyntheticVideo& video, int t,
+                          const TrackerConfig& config, TrackBatch& batch,
+                          uint64_t run_salt, DetectionList& out) {
+  const VideoSpec& spec = video.spec();
+  const FrameTruth& frame = video.frame(t);
+  const TrackerTraits& traits = GetTrackerTraits(config.type);
+  double ds = static_cast<double>(config.downsample);
+  out.clear();
+  out.reserve(batch.size());
+  // Substreams are keyed as {seed, t, object_id + 2, type, ds, salt, tag}; the
+  // {seed, t} prefix is shared by every track in the frame, so it is mixed
+  // once and checkpointed — the per-track suffix replays the remaining five
+  // keys and yields exactly the HashKeys value Step computes.
+  HashState frame_prefix;
+  frame_prefix.Mix(spec.seed);
+  frame_prefix.Mix(static_cast<uint64_t>(t));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    HashState h = frame_prefix;
+    h.Mix(static_cast<uint64_t>(batch.object_id[i] + 2));
+    h.Mix(static_cast<uint64_t>(config.type));
+    h.Mix(static_cast<uint64_t>(config.downsample));
+    h.Mix(run_salt);
+    h.Mix(0x77acull);
+    Pcg32 rng(h.Get());
+    const SceneObjectState* obj =
+        batch.object_id[i] >= 0 ? FindObject(frame, batch.object_id[i]) : nullptr;
+    if (batch.lost[i] != 0 || obj == nullptr) {
+      // A lost track (or a tracked false positive, or an exited object) keeps
+      // emitting its stale box with decaying confidence.
+      batch.score[i] *= 0.97;
+      Detection det;
+      det.box = batch.last_box[i];
+      det.class_id = batch.class_id[i];
+      det.score = batch.score[i];
+      det.object_id = batch.object_id[i];
+      out.push_back(det);
+      continue;
+    }
+    double speed = obj->Speed();
+    // Loss hazard: fast motion, heavy downsampling, and occlusion all raise it;
+    // robust trackers discount the occlusion term.
+    double hazard = traits.loss_hazard * (1.0 + speed / 25.0) *
+                    (0.5 + 0.5 * ds) *
+                    (1.0 + 3.0 * obj->occlusion * (1.0 - traits.occlusion_robustness));
+    if (rng.Bernoulli(std::min(0.5, hazard))) {
+      batch.lost[i] = 1;
+      batch.score[i] *= 0.9;
+      Detection det;
+      det.box = batch.last_box[i];
+      det.class_id = batch.class_id[i];
+      det.score = batch.score[i];
+      det.object_id = batch.object_id[i];
+      out.push_back(det);
+      continue;
+    }
+    // Drift: the error offset random-walks with a step proportional to the
+    // tracker's drift coefficient, the apparent speed, and the downsampling.
+    double step = traits.drift * (0.6 + speed) * std::sqrt(ds) * 0.5;
+    batch.offset_x[i] += rng.Normal(0.0, step);
+    batch.offset_y[i] += rng.Normal(0.0, step);
+    batch.scale_error[i] *= rng.LogNormal(0.0, 0.004 * std::sqrt(ds) *
+                                                   (1.0 + traits.drift * 10.0));
+    batch.score[i] *= 0.998;
+    Detection det;
+    det.box = Box::FromCenter(obj->gt.box.CenterX() + batch.offset_x[i],
+                              obj->gt.box.CenterY() + batch.offset_y[i],
+                              obj->gt.box.w * batch.scale_error[i],
+                              obj->gt.box.h * batch.scale_error[i])
+                  .ClippedTo(spec.width, spec.height);
+    det.class_id = batch.class_id[i];
+    det.score = batch.score[i];
+    det.object_id = batch.object_id[i];
+    batch.last_box[i] = det.box;
+    out.push_back(det);
+  }
+}
+
 DetectionList TrackerSim::Step(const SyntheticVideo& video, int t,
                                const TrackerConfig& config,
                                std::vector<TrackState>& tracks, uint64_t run_salt) {

@@ -68,6 +68,32 @@ struct TrackState {
   Box last_box;
 };
 
+// SoA layout for the per-frame tracker inner loop: one column per TrackState
+// field, all columns resized together. A batch is the arena for one GoF's
+// tracker half — Reset() reuses the column capacity, so in steady state a GoF
+// costs zero track-state allocations (vs. a std::vector<TrackState> rebuilt
+// per GoF). Field-for-field equivalent to the AoS form; StepInto advances it
+// with draws and arithmetic identical to Step (pinned by KernelTest /
+// TrackerTest batch-identity cases).
+struct TrackBatch {
+  std::vector<int64_t> object_id;
+  std::vector<int> class_id;
+  std::vector<double> score;
+  std::vector<double> offset_x;
+  std::vector<double> offset_y;
+  std::vector<double> scale_error;
+  std::vector<uint8_t> lost;
+  std::vector<Box> last_box;
+
+  size_t size() const { return object_id.size(); }
+
+  // Re-initializes the batch from the detections with score >= min_score (the
+  // confident-filter policy the execution kernel applies to anchor outputs),
+  // in detection order — the same tracks InitTracks would build from the
+  // filtered list. Keeps column capacity.
+  void Reset(const DetectionList& detections, double min_score);
+};
+
 class TrackerSim {
  public:
   // Initializes track states from the anchor-frame detections. Detections whose
@@ -79,6 +105,15 @@ class TrackerSim {
   static DetectionList Step(const SyntheticVideo& video, int t,
                             const TrackerConfig& config,
                             std::vector<TrackState>& tracks, uint64_t run_salt = 0);
+
+  // SoA form of Step: advances the batch and writes frame t's outputs into
+  // `out` (cleared and reserved; the caller owns placement, so GoF loops can
+  // write each frame straight into its final slot). Bit-identical to Step on
+  // the equivalent track states: same per-track substreams — keyed, not
+  // order-derived — and the same arithmetic in the same order.
+  static void StepInto(const SyntheticVideo& video, int t,
+                       const TrackerConfig& config, TrackBatch& batch,
+                       uint64_t run_salt, DetectionList& out);
 };
 
 }  // namespace litereconfig

@@ -4,24 +4,6 @@
 
 namespace litereconfig {
 
-uint64_t SplitMix64(uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ull;
-  uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
-uint64_t HashKeys(std::initializer_list<uint64_t> keys) {
-  uint64_t state = 0x853C49E6748FEA9Bull;
-  uint64_t acc = 0;
-  for (uint64_t k : keys) {
-    state ^= k + 0x9E3779B97F4A7C15ull + (acc << 6) + (acc >> 2);
-    acc = SplitMix64(state);
-  }
-  return acc;
-}
-
 Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
   NextU32();
   state_ += seed;

@@ -14,11 +14,50 @@
 namespace litereconfig {
 
 // SplitMix64 step; used both as a seed expander and as a cheap mixing hash.
-uint64_t SplitMix64(uint64_t& state);
+// Defined inline: every HashState::Mix runs one SplitMix64, so the per-pixel
+// raster hashing and the per-track substream derivation are bounded by this
+// function — an out-of-line call here costs more than the mixing itself.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 // Mixes an arbitrary list of integer keys into a single well-distributed 64-bit
 // value. Order-sensitive: HashKeys({a, b}) != HashKeys({b, a}) in general.
+// Defined inline below HashState.
 uint64_t HashKeys(std::initializer_list<uint64_t> keys);
+
+// Incremental form of HashKeys. Feeding the same key sequence through Mix()
+// yields exactly HashKeys({...}) from Get(), and the object is trivially
+// copyable — so a hot loop that derives many substreams sharing a key prefix
+// (e.g. {video seed, frame} followed by a per-object suffix) can checkpoint
+// the prefix once and replay only the suffix per entity. Checkpointing never
+// changes any derived value; it is the same mixing chain, split in two.
+class HashState {
+ public:
+  void Mix(uint64_t k) {
+    state_ ^= k + 0x9E3779B97F4A7C15ull + (acc_ << 6) + (acc_ >> 2);
+    acc_ = SplitMix64(state_);
+  }
+  uint64_t Get() const { return acc_; }
+
+ private:
+  uint64_t state_ = 0x853C49E6748FEA9Bull;
+  uint64_t acc_ = 0;
+};
+
+// Kept as a thin loop over HashState so the incremental (checkpointable) form
+// and the one-shot form can never diverge.
+inline uint64_t HashKeys(std::initializer_list<uint64_t> keys) {
+  HashState h;
+  for (uint64_t k : keys) {
+    h.Mix(k);
+  }
+  return h.Get();
+}
 
 // Minimal PCG32 (XSH-RR) generator with convenience distributions.
 class Pcg32 {

@@ -141,6 +141,58 @@ TEST(KernelTest, RunGofEqualsDetectAnchorPlusTrackRemainder) {
   }
 }
 
+void ExpectSameFrame(const DetectionList& a, const DetectionList& b,
+                     const char* what, size_t f) {
+  ASSERT_EQ(a.size(), b.size()) << what << " frame " << f;
+  for (size_t d = 0; d < a.size(); ++d) {
+    EXPECT_EQ(a[d].box.x, b[d].box.x) << what << " frame " << f;
+    EXPECT_EQ(a[d].box.y, b[d].box.y) << what << " frame " << f;
+    EXPECT_EQ(a[d].box.w, b[d].box.w) << what << " frame " << f;
+    EXPECT_EQ(a[d].box.h, b[d].box.h) << what << " frame " << f;
+    EXPECT_EQ(a[d].score, b[d].score) << what << " frame " << f;
+    EXPECT_EQ(a[d].class_id, b[d].class_id) << what << " frame " << f;
+  }
+}
+
+// The arena forms (TrackRemainderInto / TrackOnlyInto) must be bit-identical
+// to the allocating wrappers, including when one scratch arena is reused
+// across consecutive GoFs of different branches and track populations — the
+// steady-state shape of the batched executor in LiteReconfigProtocol.
+TEST(KernelTest, ArenaFormsMatchAllocatingWrappersAcrossReusedScratch) {
+  const BranchSpace& space = BranchSpace::Default();
+  SyntheticVideo video = MakeVideo(21, SceneArchetype::kCrowded);
+  TrackBatch scratch;  // deliberately shared across every iteration below
+  for (size_t b = 0; b < space.size(); b += 17) {
+    const Branch& branch = space.at(b);
+    for (int start : {0, 29, video.frame_count() - 3}) {
+      DetectionList anchor =
+          ExecutionKernel::DetectAnchor(video, start, branch, /*run_salt=*/7);
+      std::vector<DetectionList> reference = ExecutionKernel::TrackRemainder(
+          video, start, branch, anchor, /*run_salt=*/7);
+      std::vector<DetectionList> arena(reference.size());
+      int written = ExecutionKernel::TrackRemainderInto(
+          video, start, branch, anchor, /*run_salt=*/7, scratch, arena.data());
+      ASSERT_EQ(static_cast<size_t>(written), reference.size())
+          << "branch " << b << " start " << start;
+      for (size_t f = 0; f < reference.size(); ++f) {
+        ExpectSameFrame(arena[f], reference[f], "remainder", f);
+      }
+
+      TrackerConfig tail{TrackerType::kMedianFlow, 4};
+      std::vector<DetectionList> only_ref = ExecutionKernel::TrackOnly(
+          video, start, 6, tail, anchor, /*run_salt=*/7);
+      std::vector<DetectionList> only_arena(only_ref.size());
+      int only_written = ExecutionKernel::TrackOnlyInto(
+          video, start, 6, tail, anchor, /*run_salt=*/7, scratch,
+          only_arena.data());
+      ASSERT_EQ(static_cast<size_t>(only_written), only_ref.size());
+      for (size_t f = 0; f < only_ref.size(); ++f) {
+        ExpectSameFrame(only_arena[f], only_ref[f], "track-only", f);
+      }
+    }
+  }
+}
+
 TEST(KernelTest, SnippetAccuracyInUnitRange) {
   SyntheticVideo video = MakeVideo(4, SceneArchetype::kCrowded);
   for (size_t b = 0; b < BranchSpace::Default().size(); b += 17) {

@@ -133,6 +133,34 @@ TEST(ParallelEvalTest, PipelinedRunIsIdenticalUnderFaultsAndPredictive) {
   }
 }
 
+// Same identity with GPU contention armed: contention drives the per-GoF EWMA
+// recalibration, so every scheduler invocation sees a fresh calibration
+// fingerprint and the SchedulerSession invalidation key must force rebuilds
+// rather than serve stale tables. The batched (pipeline=true) run must still
+// match the serial reference bit-for-bit at every thread count.
+TEST(ParallelEvalTest, PipelinedBatchedRunIsIdenticalUnderFaultsAndContention) {
+  LiteReconfigProtocol protocol(&TinyModels(), LiteReconfigProtocol::FullConfig(),
+                                "lrc");
+  EvalConfig base;
+  base.slo_ms = 33.3;
+  base.gpu_contention = 0.5;
+  base.faults = FaultSpec::Moderate();
+  base.fault_seed = 23;
+  base.degrade = true;
+  base.predictive = true;
+  base.threads = 1;
+  base.pipeline = false;
+  EvalResult serial = OnlineRunner::Run(protocol, TinyValidation(), base);
+  EXPECT_GT(serial.frames, 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    EvalConfig config = base;
+    config.threads = threads;
+    config.pipeline = true;
+    EvalResult pipelined = OnlineRunner::Run(protocol, TinyValidation(), config);
+    ExpectIdentical(serial, pipelined);
+  }
+}
+
 TEST(ParallelEvalTest, ApproxDetIsIdenticalAcrossThreadCounts) {
   ApproxDetProtocol protocol(&TinyModels());
   EvalResult sequential = RunWithThreads(protocol, 1, /*contention=*/0.5);

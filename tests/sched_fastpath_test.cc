@@ -12,6 +12,7 @@
 #include "src/mbek/kernel.h"
 #include "src/sched/cost_table.h"
 #include "src/sched/scheduler.h"
+#include "src/sched/scheduler_session.h"
 #include "src/util/rng.h"
 #include "tests/test_support.h"
 
@@ -108,6 +109,98 @@ TEST(SchedFastPathTest, DecideMatchesReferenceAcrossRandomizedConfigs) {
     ExpectIdenticalDecisions(scheduler.Decide(ctx), scheduler.DecideReference(ctx),
                              trial);
   }
+}
+
+// The batched scheduler's binding contract: a persistent SchedulerSession —
+// whole-decision replay, cost-table reuse, switch-row/gof-column component
+// caches — must return bit-identical decisions to both the session-free fast
+// path and the reference implementation on every field, across streaks of
+// repeated contexts (where the caches hit) and across every perturbation of
+// the invalidation key (where they must miss and rebuild).
+TEST(SchedFastPathTest, SessionDecideMatchesFreshAndReference) {
+  const TrainedModels& models = TinyModels();
+  const BranchSpace& space = *models.space;
+  const Dataset& dataset = TinyValidation();
+  Pcg32 rng(HashKeys({0x5e55ull, 0x10ull}));
+
+  const LiteReconfigMode kModes[] = {
+      LiteReconfigMode::kFull, LiteReconfigMode::kMinCost,
+      LiteReconfigMode::kMaxContentResNet, LiteReconfigMode::kForceFeature,
+  };
+
+  uint64_t total_reuses = 0;
+  uint64_t total_decisions = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    SchedulerConfig config;
+    config.mode = kModes[trial % 4];
+    if (config.mode == LiteReconfigMode::kForceFeature) {
+      config.forced_feature =
+          kHeavyFeatures[rng.NextU32() %
+                         (sizeof(kHeavyFeatures) / sizeof(kHeavyFeatures[0]))];
+    }
+    config.charge_feature_overhead = rng.NextU32() % 2 == 0;
+    config.use_switching_cost = rng.NextU32() % 2 == 0;
+    config.use_hysteresis = rng.NextU32() % 2 == 0;
+    LiteReconfigScheduler scheduler(&models, config);
+    // One session per (scheduler, stream), as RunVideo holds it.
+    SchedulerSession session;
+
+    const SyntheticVideo& video = dataset.videos[trial % dataset.videos.size()];
+    int frame = static_cast<int>(rng.NextU32() % 50);
+    DetectionList anchor = ExecutionKernel::DetectAnchor(
+        video, frame, space.at(rng.NextU32() % space.size()), trial);
+
+    DecisionContext ctx;
+    ctx.video = &video;
+    ctx.frame = frame;
+    ctx.anchor_detections = &anchor;
+    ctx.slo_ms = 10.0 + rng.NextDouble() * 90.0;
+    ctx.gpu_cal = 0.5 + rng.NextDouble() * 2.5;
+    ctx.cpu_cal = 0.5 + rng.NextDouble() * 2.5;
+    ctx.prefer_headroom = rng.NextU32() % 4 == 0;
+    ctx.heavy_blend = rng.NextU32() % 2 == 0 ? 0.5 : 0.3 + rng.NextDouble() * 0.6;
+    if (rng.NextU32() % 2 == 0) {
+      ctx.current_branch = rng.NextU32() % space.size();
+    }
+    ctx.frames_remaining = video.frame_count() - frame;
+
+    // A streak of decisions through one session: the identical context twice
+    // (replay / full-table reuse), then every key field perturbed in turn
+    // (each a forced invalidation). Every step must match the session-free
+    // fast path and the reference bit for bit.
+    for (int step = 0; step < 6; ++step) {
+      switch (step) {
+        case 0:
+        case 1:
+          break;  // identical context back to back: caches hit
+        case 2:
+          ctx.slo_ms += 1.0;
+          break;
+        case 3:
+          ctx.gpu_cal *= 1.25;
+          break;
+        case 4:
+          ctx.frames_remaining = 1 + static_cast<int>(rng.NextU32() % 4);
+          break;
+        default:
+          ctx.current_branch = rng.NextU32() % space.size();
+          break;
+      }
+      SchedulerDecision via_session = scheduler.Decide(ctx, &session);
+      ExpectIdenticalDecisions(via_session, scheduler.Decide(ctx),
+                               trial * 10 + step);
+      ExpectIdenticalDecisions(via_session, scheduler.DecideReference(ctx),
+                               trial * 10 + step);
+    }
+    const SchedulerSession::Counters& counters = session.counters();
+    total_decisions += counters.decisions;
+    total_reuses += counters.decision_reuses + counters.table_reuses +
+                    counters.switch_row_reuses;
+  }
+  // The streaks must actually exercise the caches — a key that never matches
+  // would make this test vacuously pass on a broken lookup.
+  EXPECT_GT(total_reuses, 0u);
+  EXPECT_EQ(total_decisions, 200u * 6u);
 }
 
 TEST(SchedFastPathTest, SelectFeaturesMatchesReference) {
